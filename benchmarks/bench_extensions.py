@@ -1,0 +1,140 @@
+"""Bench: the neighbouring structures — throughput plus shape checks.
+
+One bench per extension structure, timing its characteristic workload and
+asserting the double-vs-random equivalence (or documented difference) in
+the observable that structure cares about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.extensions import (
+    BloomFilter,
+    CuckooFilter,
+    CuckooTable,
+    DLeftHashTable,
+    IBLT,
+    OpenAddressTable,
+    expected_unsuccessful_probes,
+    theoretical_fpr,
+)
+
+
+def bench_bloom_filter(benchmark, scale, attach):
+    m, k, n_items = 2**15, 5, 4000
+    rng = np.random.default_rng(scale.seed)
+    keys = rng.integers(0, 2**59, n_items)
+    fresh = rng.integers(2**59, 2**60, 20000)
+
+    def run():
+        rates = {}
+        for mode in ("double", "enhanced", "random"):
+            bf = BloomFilter(m, k, mode=mode, seed=scale.seed)
+            bf.add(keys)
+            rates[mode] = bf.empirical_fpr(fresh)
+        return rates
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    theory = theoretical_fpr(m, k, n_items)
+    for mode, rate in rates.items():
+        assert rate == pytest.approx(theory, rel=0.4), mode
+    attach(theory=round(theory, 5),
+           **{m_: round(r, 5) for m_, r in rates.items()})
+
+
+def bench_cuckoo_table(benchmark, scale, attach):
+    def run():
+        stats = {}
+        for mode in ("double", "random"):
+            table = CuckooTable(2**12, 3, mode=mode, seed=scale.seed,
+                                max_kicks=2000)
+            table.fill_to(0.85)
+            stats[mode] = (
+                table.load_factor,
+                float(np.mean(table.stats.per_insert)),
+            )
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats["double"][0] == pytest.approx(stats["random"][0], abs=0.01)
+    attach(double=stats["double"], random=stats["random"])
+
+
+def bench_cuckoo_filter(benchmark, scale, attach):
+    def run():
+        f = CuckooFilter(2**10, seed=scale.seed, max_kicks=1000)
+        key = 0
+        try:
+            while f.load_factor < 0.9:
+                f.insert(key)
+                key += 1
+        except Exception:
+            pass
+        return f
+
+    f = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert f.load_factor > 0.85
+    attach(load=round(f.load_factor, 3))
+
+
+def bench_open_addressing(benchmark, scale, attach):
+    alpha = 0.75
+
+    def run():
+        costs = {}
+        for probe in ("double", "random", "linear"):
+            table = OpenAddressTable(2**12, probe=probe, seed=scale.seed)
+            key = 0
+            while table.load_factor < alpha:
+                table.insert(key)
+                key += 1
+            costs[probe] = table.mean_unsuccessful_cost(1500, rng=scale.seed)
+        return costs
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    law = expected_unsuccessful_probes(alpha)
+    assert costs["double"] == pytest.approx(law, rel=0.1)
+    assert costs["random"] == pytest.approx(law, rel=0.1)
+    assert costs["linear"] > 1.3 * law
+    attach(law=round(law, 3), **{k: round(v, 3) for k, v in costs.items()})
+
+
+def bench_iblt_listing(benchmark, scale, attach):
+    m = 2**11
+
+    def run():
+        t = IBLT(m, 3, mode="random", seed=scale.seed)
+        entries = {k: k * 3 for k in range(10_000, 10_000 + int(0.7 * m))}
+        for k, v in entries.items():
+            t.insert(k, v)
+        result = t.list_entries()
+        return entries, result
+
+    entries, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.complete
+    assert dict(result.entries) == entries
+    attach(entries=len(entries))
+
+
+def bench_dleft_fingerprint_table(benchmark, scale, attach):
+    def run():
+        hists = {}
+        for mode in ("double", "random"):
+            table = DLeftHashTable(2**11, 4, bucket_capacity=8, mode=mode,
+                                   seed=scale.seed)
+            for key in range(4 * 2**11):
+                table.insert(key)
+            hists[mode] = table.occupancy_stats().histogram / (4 * 2**11)
+        return hists
+
+    hists = benchmark.pedantic(run, rounds=1, iterations=1)
+    width = min(len(hists["double"]), len(hists["random"]))
+    assert np.allclose(
+        hists["double"][:width], hists["random"][:width], atol=0.015
+    )
+    attach(
+        double=[round(float(x), 4) for x in hists["double"][:4]],
+        random=[round(float(x), 4) for x in hists["random"][:4]],
+    )

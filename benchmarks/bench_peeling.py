@@ -1,0 +1,43 @@
+"""Bench: the peeling experiment of the follow-up paper [30].
+
+Verifies, at a density sweep around the d = 3 threshold (0.81847):
+
+- fully random: sharp success/failure transition at the DE threshold;
+- double hashing: same *core-fraction* behaviour, but a constant-rate
+  complete-recovery failure floor from duplicate hyperedges (the paper's
+  footnote-1 caveat made quantitative).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.peeling import peeling_threshold, threshold_experiment
+
+
+def bench_peeling_threshold_sweep(benchmark, scale, attach):
+    def run():
+        return threshold_experiment(
+            2048, 3, [0.70, 0.78, 0.86, 0.94], trials=8, seed=scale.seed
+        )
+
+    exp = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Fully random: clean transition across the threshold.
+    assert exp.success_random[0] == 1.0
+    assert exp.success_random[-1] == 0.0
+    # Core fractions agree between schemes at every density.
+    for cf_r, cf_d in zip(exp.core_fraction_random, exp.core_fraction_double):
+        assert cf_d == pytest.approx(cf_r, abs=0.04)
+    # Below threshold, double hashing's residual core is microscopic even
+    # when complete recovery fails (duplicate pairs only).
+    assert exp.core_fraction_double[0] < 0.01
+    assert exp.asymptotic_threshold == pytest.approx(
+        peeling_threshold(3), abs=1e-9
+    )
+    attach(
+        densities=list(exp.densities),
+        success_random=list(exp.success_random),
+        success_double=list(exp.success_double),
+        core_random=[round(float(x), 4) for x in exp.core_fraction_random],
+        core_double=[round(float(x), 4) for x in exp.core_fraction_double],
+    )

@@ -1,0 +1,36 @@
+"""Bench: regenerate paper Table 1 — load fractions, random vs double.
+
+Paper row shape (d = 3): 0.17693 / 0.64664 / 0.17592 / 0.00051, with the
+two schemes agreeing to ~1e-4.  The bench asserts both properties at the
+reduced scale's looser tolerance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table1_load_fractions
+
+PAPER_D3 = {0: 0.17693, 1: 0.64664, 2: 0.17592, 3: 0.00051}
+PAPER_D4 = {0: 0.14081, 1: 0.71840, 2: 0.14077}
+
+
+@pytest.mark.parametrize("d,paper", [(3, PAPER_D3), (4, PAPER_D4)], ids=["d3", "d4"])
+def bench_table1(benchmark, scale, attach, d, paper):
+    table = benchmark.pedantic(
+        table1_load_fractions,
+        args=(d,),
+        kwargs=dict(n=scale.n, trials=scale.trials, seed=scale.seed),
+        rounds=1,
+        iterations=1,
+    )
+    by_load = {row[0]: row for row in table.rows}
+    for load, expected in paper.items():
+        _, rand, dbl = by_load[load]
+        assert rand == pytest.approx(expected, abs=0.004)
+        assert dbl == pytest.approx(expected, abs=0.004)
+        assert rand == pytest.approx(dbl, abs=0.006)
+    attach(
+        rows={load: (r[1], r[2]) for load, r in by_load.items()},
+        paper=paper,
+    )

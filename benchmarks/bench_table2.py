@@ -1,0 +1,29 @@
+"""Bench: regenerate paper Table 2 — fluid limit vs simulated tails.
+
+Paper rows (d = 3): tail >= 1: 0.8231 (all three columns), tail >= 2:
+0.1765 / 0.1764 / 0.1764, tail >= 3: 0.00051 everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table2_fluid_vs_simulation
+
+PAPER = {1: 0.8231, 2: 0.1765, 3: 0.00051}
+
+
+def bench_table2(benchmark, scale, attach):
+    table = benchmark.pedantic(
+        table2_fluid_vs_simulation,
+        kwargs=dict(n=scale.n, trials=scale.trials, seed=scale.seed),
+        rounds=1,
+        iterations=1,
+    )
+    by_load = {row[0]: row for row in table.rows}
+    for load, expected in PAPER.items():
+        _, fluid, rand, dbl = by_load[load]
+        assert fluid == pytest.approx(expected, abs=2e-4)
+        assert rand == pytest.approx(expected, abs=0.004)
+        assert dbl == pytest.approx(expected, abs=0.004)
+    attach(rows={k: tuple(v[1:]) for k, v in by_load.items()}, paper=PAPER)

@@ -1,0 +1,32 @@
+"""Bench: regenerate paper Table 3 — load fractions at larger n.
+
+The paper's point at n = 2^16 and 2^18 is that the numbers are *stable in
+n* and identical between schemes.  The bench runs the largest size that
+stays minutes-scale here (2^14; pass a larger BenchScale.n to go bigger)
+and checks the fractions match the same limiting values as Table 1's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table3_larger_n
+
+LIMIT_D3 = {0: 0.17696, 1: 0.64659, 2: 0.17594, 3: 0.00051}
+
+
+def bench_table3(benchmark, scale, attach):
+    table = benchmark.pedantic(
+        table3_larger_n,
+        args=(3,),
+        kwargs=dict(log2_n=14, trials=max(scale.trials // 2, 10),
+                    seed=scale.seed),
+        rounds=1,
+        iterations=1,
+    )
+    by_load = {row[0]: row for row in table.rows}
+    for load, expected in LIMIT_D3.items():
+        _, rand, dbl = by_load[load]
+        assert rand == pytest.approx(expected, abs=0.004)
+        assert dbl == pytest.approx(expected, abs=0.004)
+    attach(rows={k: (v[1], v[2]) for k, v in by_load.items()}, limit=LIMIT_D3)

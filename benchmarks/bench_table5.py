@@ -1,0 +1,37 @@
+"""Bench: regenerate paper Table 5 — per-load sample statistics.
+
+Paper shape (d = 4, n = 2^18): the per-trial count of bins at each load
+has a tiny relative spread (std/mean ~ 0.3% at loads 0-2), identical
+between schemes.  At the bench's reduced n the *relative* spread is the
+scale-free observable: std/mean stays below ~2% and the scheme means agree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table5_level_stats
+
+# Limiting fractions for d = 4 (what mean/n must approach).
+LIMIT_D4 = {0: 0.14082, 1: 0.71838, 2: 0.14077}
+
+
+def bench_table5(benchmark, scale, attach):
+    table = benchmark.pedantic(
+        table5_level_stats,
+        kwargs=dict(n=scale.n, d=4, trials=max(scale.trials // 2, 10),
+                    seed=scale.seed),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {(row[0], row[1]): row for row in table.rows}
+    for load, frac in LIMIT_D4.items():
+        for schm in ("random", "double"):
+            _, _, mn, avg, mx, std = rows[(schm, load)]
+            assert mn <= avg <= mx
+            assert avg == pytest.approx(frac * scale.n, rel=0.01)
+            assert std / avg < 0.05  # tight concentration, as in the paper
+        assert rows[("random", load)][3] == pytest.approx(
+            rows[("double", load)][3], rel=0.01
+        )
+    attach(rows=table.rows[:12])

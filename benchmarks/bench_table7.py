@@ -1,0 +1,32 @@
+"""Bench: regenerate paper Table 7 — Vöcking's d-left scheme.
+
+Paper shape (d = 4): fractions 0.12421 / 0.75159 / 0.12421 at loads
+0/1/2 for both schemes (and bins of load 3 essentially never appear at
+this scale).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table7_dleft
+
+PAPER = {0: 0.12421, 1: 0.75159, 2: 0.12421}
+
+
+def bench_table7(benchmark, scale, attach):
+    table = benchmark.pedantic(
+        table7_dleft,
+        kwargs=dict(n=scale.n, d=4, trials=scale.trials, seed=scale.seed),
+        rounds=1,
+        iterations=1,
+    )
+    by_load = {row[0]: row for row in table.rows}
+    for load, expected in PAPER.items():
+        _, rand, dbl, fluid = by_load[load]
+        assert fluid == pytest.approx(expected, abs=1e-4)
+        assert rand == pytest.approx(expected, abs=0.004)
+        assert dbl == pytest.approx(expected, abs=0.004)
+    # Load-3 bins essentially never appear (paper: ~2 bins in 10^4 trials).
+    assert by_load.get(3, (3, 0, 0, 0))[1] < 1e-4
+    attach(rows={k: tuple(v[1:]) for k, v in by_load.items()}, paper=PAPER)

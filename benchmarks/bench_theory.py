@@ -1,0 +1,137 @@
+"""Bench: the paper's theoretical machinery as executable checks.
+
+Covers Section 2.1 (majorization coupling), Section 2.2 (witness-tree
+bound), Section 3 / Lemmas 6-7 (ancestry lists and their disjointness),
+and Appendix B (layered-induction envelope) — each one timed and verified.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    coupled_majorization_run,
+    expected_population,
+    simulate_branching_population,
+    witness_tree_bound,
+)
+from repro.analysis.ancestry import (
+    ancestry_sizes_of_fresh_choices,
+    disjointness_rate,
+    record_history,
+)
+from repro.analysis.layered_induction import beta_trajectory
+from repro.core import simulate_batch
+from repro.hashing import DoubleHashingChoices
+
+
+def bench_majorization_coupling(benchmark, scale, attach):
+    """Theorem 2: the coupled invariant holds for every ball."""
+
+    def run():
+        return coupled_majorization_run(scale.n // 4, scale.n, 4,
+                                        seed=scale.seed)
+
+    trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert trace.holds
+    assert trace.final_max_x >= trace.final_max_y
+    attach(final_max_x=trace.final_max_x, final_max_y=trace.final_max_y)
+
+
+def bench_witness_tree_bound(benchmark, scale, attach):
+    """Theorem 4: simulated max loads sit below log_d log_2 n + 4d."""
+
+    def run():
+        batch = simulate_batch(
+            DoubleHashingChoices(scale.n, 3), scale.n, 20, seed=scale.seed
+        )
+        return int(batch.loads.max()), witness_tree_bound(scale.n, 3)
+
+    observed, bound = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert observed <= bound.max_load_bound
+    attach(observed_max=observed, bound=bound.max_load_bound,
+           failure_probability=bound.failure_probability)
+
+
+def bench_ancestry_lists(benchmark, scale, attach):
+    """Lemmas 6-7: O(log n) ancestry sizes, disjoint across the d choices."""
+
+    def run():
+        n = scale.n
+        scheme = DoubleHashingChoices(n, 3)
+        history = record_history(scheme, int(0.15 * n), seed=scale.seed)
+        rng = np.random.default_rng(scale.seed + 1)
+        sizes = ancestry_sizes_of_fresh_choices(history, scheme.single(rng))
+        rate = disjointness_rate(history, scheme, 40, seed=scale.seed + 2)
+        return sizes, rate
+
+    sizes, rate = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert max(sizes) <= 8 * math.log(scale.n)
+    assert rate > 0.85
+    attach(max_ancestry=max(sizes), disjoint_rate=rate)
+
+
+def bench_branching_process(benchmark, scale, attach):
+    """Lemma 6's dominating process: mean ~ e^{T d(d-1)}, geometric tail."""
+
+    def run():
+        return simulate_branching_population(
+            scale.n, 3, 0.5, trials=400, seed=scale.seed, d_prime=3
+        )
+
+    pops = benchmark.pedantic(run, rounds=1, iterations=1)
+    theory = expected_population(3, 0.5)
+    assert pops.mean() == pytest.approx(theory, rel=0.25)
+    attach(mean=float(pops.mean()), theory=theory, max=int(pops.max()))
+
+
+def bench_lemma5_drift(benchmark, scale, attach):
+    """Lemma 5 directly: the empirical increment rate of X_1 matches
+    x_0^d − x_1^d within sampling error."""
+    from repro.analysis.drift import measure_drift
+
+    def run():
+        return measure_drift(
+            DoubleHashingChoices(scale.n, 3), 1, seed=scale.seed
+        )
+
+    m = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert m.gap < 5 * m.standard_error + 0.01
+    attach(empirical=round(m.empirical_rate, 5),
+           predicted=round(m.predicted_rate, 5))
+
+
+def bench_wormald_deviation(benchmark, scale, attach):
+    """Path deviation from the ODE decays with n at roughly CLT scale."""
+    from repro.fluid.wormald import deviation_sweep
+
+    def run():
+        return deviation_sweep(
+            DoubleHashingChoices, 3, n_values=(256, 1024),
+            trials=30, seed=scale.seed,
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert sweep.deviations[-1] < sweep.deviations[0]
+    attach(deviations=[round(float(x), 5) for x in sweep.deviations],
+           decay_exponent=round(sweep.decay_exponent, 3))
+
+
+def bench_layered_induction(benchmark, scale, attach):
+    """Appendix B: simulated level counts below the beta envelope."""
+
+    def run():
+        batch = simulate_batch(
+            DoubleHashingChoices(scale.n, 3), scale.n, 20,
+            seed=scale.seed + 3,
+        )
+        return batch, beta_trajectory(scale.n, 3)
+
+    batch, traj = benchmark.pedantic(run, rounds=1, iterations=1)
+    for level, beta in zip(traj.levels, traj.betas):
+        z = (batch.loads >= level).sum(axis=1)
+        assert (z <= beta).all()
+    attach(levels=traj.levels, betas=[round(b, 1) for b in traj.betas])

@@ -1,0 +1,45 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_table*.py`` regenerates one table of the paper at a reduced
+but shape-preserving scale (see DESIGN.md §4 for the scale substitutions),
+measures the wall-clock of the regeneration, and attaches the reproduced
+numbers as ``extra_info`` so ``--benchmark-json`` output doubles as an
+experiment record.
+
+Scales are chosen so the full harness completes in a few minutes.  To run
+closer to paper scale, raise the constants in ``BenchScale``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Reduced scales used by the benchmark harness."""
+
+    n: int = 2**12          # paper: 2^14..2^18
+    trials: int = 50        # paper: 10000
+    queue_n: int = 256      # paper: 2^14
+    queue_time: float = 200.0   # paper: 10000
+    queue_burn_in: float = 40.0  # paper: 1000
+    seed: int = 20140623
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    return BenchScale()
+
+
+@pytest.fixture
+def attach(benchmark):
+    """Fixture: record reproduced numbers in the benchmark's extra_info."""
+
+    def _attach(**info) -> None:
+        for key, value in info.items():
+            benchmark.extra_info[key] = repr(value)
+
+    return _attach

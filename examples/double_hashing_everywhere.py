@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Double hashing beyond balls-and-bins: Bloom, cuckoo, open addressing.
+
+The paper's conclusion suggests double hashing should match fully random
+hashing in other multi-hash structures.  This example runs the three
+neighbouring structures implemented in repro.extensions and reports the
+observable each one cares about, double-hashed vs fully random.
+
+Run:  python examples/double_hashing_everywhere.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TableFullError
+from repro.extensions import (
+    BloomFilter,
+    CuckooTable,
+    OpenAddressTable,
+    expected_unsuccessful_probes,
+    theoretical_fpr,
+)
+
+
+def bloom_demo() -> None:
+    m, k, n_items = 2**16, 5, 8000
+    rng = np.random.default_rng(42)
+    keys = rng.integers(0, 2**60, n_items)
+    fresh = rng.integers(2**60, 2**61, 20000)
+    print(f"Bloom filter: m = {m} bits, k = {k}, {n_items} items")
+    for mode in ("random", "double"):
+        bf = BloomFilter(m, k, mode=mode, seed=1)
+        bf.add(keys)
+        print(f"  {mode:>6}: false-positive rate {bf.empirical_fpr(fresh):.5f}")
+    print(f"  theory: {theoretical_fpr(m, k, n_items):.5f} "
+          "(Kirsch-Mitzenmacher: both modes converge to this)\n")
+
+
+def cuckoo_demo() -> None:
+    n, d, target = 2**13, 3, 0.88
+    print(f"Cuckoo hashing: {n} buckets, d = {d}, filling to load {target}")
+    for mode in ("random", "double"):
+        table = CuckooTable(n, d, mode=mode, seed=2, max_kicks=2000)
+        try:
+            table.fill_to(target)
+        except TableFullError:
+            pass
+        kicks = np.array(table.stats.per_insert)
+        print(f"  {mode:>6}: load {table.load_factor:.3f}, "
+              f"mean evictions/insert {kicks.mean():.3f}, "
+              f"max chain {table.stats.max_displacements}")
+    print("  (the follow-up paper [30] found the same: no visible gap)\n")
+
+
+def open_addressing_demo() -> None:
+    n, alpha = 2**13, 0.8
+    print(f"Open addressing: n = {n}, load alpha = {alpha}")
+    for probe in ("random", "double", "linear"):
+        table = OpenAddressTable(n, probe=probe, seed=3)
+        key = 0
+        while table.load_factor < alpha:
+            table.insert(key)
+            key += 1
+        cost = table.mean_unsuccessful_cost(3000, rng=4)
+        print(f"  {probe:>6}: mean unsuccessful-search probes {cost:.3f}")
+    print(f"  1/(1-alpha) law: {expected_unsuccessful_probes(alpha):.3f} "
+          "(double matches random probing; linear is asymptotically worse)")
+
+
+def main() -> None:
+    bloom_demo()
+    cuckoo_demo()
+    open_addressing_demo()
+
+
+if __name__ == "__main__":
+    main()

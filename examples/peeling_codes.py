@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Peeling / erasure-decoding with double hashing — the paper's frontier.
+
+The paper's conclusion asks whether double hashing can replace full
+randomness in structures analysed by fluid limits, naming LDPC-style
+codes.  This example runs the peeling experiment from the follow-up work
+([30]) and shows the nuanced answer this library's experiments surface:
+
+- the *macroscopic* behaviour (threshold, core size) is identical,
+- but *complete* recovery fails at a constant rate under double hashing,
+  because duplicate hyperedges (probability Theta(1/n^2) per pair, times
+  Theta(n^2) pairs) form tiny unpeelable 2-cores.
+
+Run:  python examples/peeling_codes.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.peeling import (
+    core_edge_fraction,
+    peeling_threshold,
+    threshold_experiment,
+)
+
+
+def main() -> None:
+    d = 3
+    print(f"Density-evolution peeling threshold for d = {d}: "
+          f"c* = {peeling_threshold(d):.5f}\n")
+
+    densities = [0.70, 0.76, 0.80, 0.84, 0.88, 0.95]
+    exp = threshold_experiment(4096, d, densities, trials=10, seed=42)
+
+    print("density | P(complete)        | mean core fraction | DE core")
+    print("        | random   double    | random   double    |")
+    print("-" * 66)
+    for i, c in enumerate(densities):
+        print(f"  {c:.2f}  | {exp.success_random[i]:>6.2f}   "
+              f"{exp.success_double[i]:>6.2f}    "
+              f"| {exp.core_fraction_random[i]:>7.4f}  "
+              f"{exp.core_fraction_double[i]:>7.4f}   "
+              f"| {core_edge_fraction(c, d):.4f}")
+
+    print("""
+Reading the table:
+- The *core fraction* columns agree between schemes and match density
+  evolution — the fluid-limit equivalence extends to peeling.
+- The *complete recovery* column shows double hashing failing well below
+  threshold.  Those failures are duplicate hyperedges (two items drawing
+  the same (f, g) progression), each a 2-core of 2 edges: a constant-
+  probability event the paper's footnote 1 anticipates.
+- Engineering consequence: an IBLT or erasure code using double hashing
+  must deduplicate colliding key signatures or tolerate O(1) residue.
+""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: is double hashing distinguishable from fully random hashing?
+
+Reproduces the paper's headline experiment (Table 1) at laptop scale: throw
+n balls into n bins with d choices, once with d fully random choices and
+once with double hashing, and compare the resulting load distributions
+against each other and against the fluid-limit prediction.
+
+Run:  python examples/quickstart.py [--n 16384] [--d 3] [--trials 200]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import DoubleHashingChoices, FullyRandomChoices, run_experiment
+from repro.analysis import compare_distributions
+from repro.fluid import solve_balls_bins
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=2**14, help="balls and bins")
+    parser.add_argument("--d", type=int, default=3, help="choices per ball")
+    parser.add_argument("--trials", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args()
+
+    print(f"Throwing {args.n} balls into {args.n} bins, d = {args.d}, "
+          f"{args.trials} trials per scheme\n")
+
+    random_res = run_experiment(
+        FullyRandomChoices(args.n, args.d), args.n, args.trials,
+        seed=args.seed, workers=args.workers,
+    )
+    double_res = run_experiment(
+        DoubleHashingChoices(args.n, args.d), args.n, args.trials,
+        seed=args.seed + 1, workers=args.workers,
+    )
+    fluid = solve_balls_bins(args.d, 1.0)
+
+    print(f"{'Load':>4}  {'Fully Random':>13}  {'Double Hashing':>14}  "
+          f"{'Fluid Limit':>11}")
+    width = max(len(random_res.distribution.counts),
+                len(double_res.distribution.counts))
+    for load in range(width):
+        print(f"{load:>4}  "
+              f"{random_res.distribution.fraction_at(load):>13.5f}  "
+              f"{double_res.distribution.fraction_at(load):>14.5f}  "
+              f"{fluid.fraction_at(load):>11.5f}")
+
+    report = compare_distributions(
+        random_res.distribution, double_res.distribution
+    )
+    print(f"\nmax load: random = {random_res.distribution.max_load}, "
+          f"double = {double_res.distribution.max_load}")
+    print(f"total-variation distance: {report.tv_distance:.6f}")
+    print(f"chi-square p-value:       {report.p_value:.3f}")
+    print(f"largest deviation:        {report.max_deviation:.6f} "
+          f"({report.max_deviation_sigmas:.2f} sampling sigmas)")
+    verdict = "indistinguishable" if report.indistinguishable else "DIFFERENT"
+    print(f"verdict at these sample sizes: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

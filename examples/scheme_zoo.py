@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The scheme zoo: every allocation strategy in the library, side by side.
+
+One table summarizing what reduced randomness does and does not change:
+one-choice, (1+beta)-choice, Kenthapadi-Panigrahy blocks, fully random,
+double hashing, and d-left — plus the heavily-loaded "gap" probe of the
+paper's open question (does the gap max - m/n stay flat in m under double
+hashing, as Berenbrink et al. proved for full randomness?).
+
+Run:  python examples/scheme_zoo.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.extra import gap_experiment, scheme_zoo_experiment
+
+
+def main() -> None:
+    n = 2**12
+    print(f"Scheme zoo: {n} balls into {n} bins (d = 4 where applicable)\n")
+    zoo = scheme_zoo_experiment(n, trials=40, d=4, seed=1)
+    print(f"{'scheme':<20} {'empty bins':>10} {'load >= 2':>10} "
+          f"{'mean max':>9}")
+    print("-" * 53)
+    for name, stats in zoo.items():
+        print(f"{name:<20} {stats['empty']:>10.5f} {stats['tail2']:>10.5f} "
+              f"{stats['max_load']:>9.2f}")
+
+    print("""
+Notes:
+- one-choice: e^-1 = 0.368 empty bins, max load ~ log n / log log n;
+- (1+beta): halfway house — a fraction of two-choice balls already helps;
+- kp-blocks: 2 random values, O(log log n) max load, but a *different*
+  distribution (correlated in-block bins -> more empty bins);
+- double hashing: 2 random values and *identical* distribution to fully
+  random — the paper's result, and why it is the interesting scheme;
+- d-left: better constant via asymmetry (Vöcking).
+""")
+
+    print("Open-question probe: gap = (max load - m/n) as m grows, d = 3")
+    exp = gap_experiment(2**11, 3, balls_per_bin=(1, 4, 16, 64), trials=15,
+                         seed=2)
+    print(f"{'balls/bin':>9} {'gap random':>11} {'gap double':>11}")
+    for c, gr, gd in zip(exp.balls_per_bin, exp.gap_random, exp.gap_double):
+        print(f"{c:>9} {gr:>11.2f} {gd:>11.2f}")
+    print("""
+Berenbrink et al. proved the fully-random gap is independent of m; the
+paper notes the double-hashing case is open.  Empirically the two columns
+track each other — evidence the equivalence extends to the heavily loaded
+regime.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``python setup.py develop`` works on offline machines whose environment
+lacks the ``wheel`` package (pip's PEP 660 editable path requires it,
+the classic develop path does not).
+"""
+
+from setuptools import setup
+
+setup()

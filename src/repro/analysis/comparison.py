@@ -1,0 +1,159 @@
+"""Statistical meaning of "essentially indistinguishable".
+
+The paper's empirical claim is that, at every load level, the fraction of
+bins under double hashing sits *within sampling error* of the fraction under
+fully random hashing.  This module quantifies that:
+
+- :func:`chi_square_comparison` — a two-sample chi-square homogeneity test
+  over the pooled load histograms (small-expectation cells merged);
+- :func:`total_variation` — TV distance between the two empirical load
+  distributions;
+- :func:`sampling_envelope` — the per-level standard error implied by the
+  trial count, the yardstick the paper's "well within experimental
+  variance" refers to;
+- :func:`compare_distributions` — all of the above in one report object
+  with an overall verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.types import LoadDistribution
+
+__all__ = [
+    "ComparisonReport",
+    "chi_square_comparison",
+    "compare_distributions",
+    "sampling_envelope",
+    "total_variation",
+]
+
+
+def _aligned_counts(
+    a: LoadDistribution, b: LoadDistribution
+) -> tuple[np.ndarray, np.ndarray]:
+    width = max(len(a.counts), len(b.counts))
+    ca = np.zeros(width, dtype=np.int64)
+    cb = np.zeros(width, dtype=np.int64)
+    ca[: len(a.counts)] = a.counts
+    cb[: len(b.counts)] = b.counts
+    return ca, cb
+
+
+def total_variation(a: LoadDistribution, b: LoadDistribution) -> float:
+    """Total-variation distance between the two empirical load laws."""
+    ca, cb = _aligned_counts(a, b)
+    pa = ca / ca.sum()
+    pb = cb / cb.sum()
+    return 0.5 * float(np.abs(pa - pb).sum())
+
+
+def sampling_envelope(dist: LoadDistribution, load: int, z: float = 2.0) -> float:
+    """``z`` standard errors of the fraction estimate at ``load``.
+
+    Treats bins as independent Bernoulli observations — an approximation
+    (bin loads within a trial are negatively correlated), so the envelope
+    is slightly conservative in the right direction for an
+    indistinguishability claim.
+    """
+    p = dist.fraction_at(load)
+    n_obs = dist.trials * dist.n_bins
+    return z * float(np.sqrt(max(p * (1 - p), 1e-300) / n_obs))
+
+
+def chi_square_comparison(
+    a: LoadDistribution,
+    b: LoadDistribution,
+    *,
+    min_expected: float = 5.0,
+) -> tuple[float, float, int]:
+    """Two-sample chi-square homogeneity test over pooled load histograms.
+
+    Cells with expected count below ``min_expected`` are merged into their
+    lower neighbour (standard practice for sparse tails).  Returns
+    ``(statistic, p_value, dof)``.  A *large* p-value means the two load
+    distributions are statistically indistinguishable at this sample size.
+    """
+    ca, cb = _aligned_counts(a, b)
+    # Merge sparse tail cells from the top down.
+    while len(ca) > 2:
+        total = ca[-1] + cb[-1]
+        expected_a = total * ca.sum() / (ca.sum() + cb.sum())
+        if min(expected_a, total - expected_a) >= min_expected:
+            break
+        ca = np.concatenate([ca[:-2], [ca[-2] + ca[-1]]])
+        cb = np.concatenate([cb[:-2], [cb[-2] + cb[-1]]])
+    keep = (ca + cb) > 0
+    table = np.vstack([ca[keep], cb[keep]])
+    if table.shape[1] < 2:
+        return (0.0, 1.0, 0)
+    statistic, p_value, dof, _ = sps.chi2_contingency(table)
+    return (float(statistic), float(p_value), int(dof))
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Full indistinguishability report between two load distributions.
+
+    Attributes
+    ----------
+    tv_distance:
+        Total-variation distance between the empirical laws.
+    chi2_statistic, p_value, dof:
+        Chi-square homogeneity test results.
+    max_deviation:
+        Largest |fraction difference| over load levels.
+    max_deviation_sigmas:
+        That deviation divided by its pooled standard error — the "how many
+        sampling sigmas apart are they" number.
+    indistinguishable:
+        Verdict at the configured significance level.
+    """
+
+    tv_distance: float
+    chi2_statistic: float
+    p_value: float
+    dof: int
+    max_deviation: float
+    max_deviation_sigmas: float
+    indistinguishable: bool
+
+
+def compare_distributions(
+    a: LoadDistribution,
+    b: LoadDistribution,
+    *,
+    significance: float = 0.01,
+) -> ComparisonReport:
+    """Compare two load distributions; verdict via the chi-square test.
+
+    ``indistinguishable`` is True when the homogeneity test fails to reject
+    at ``significance`` — i.e. the data are consistent with one common load
+    law, the paper's empirical claim.
+    """
+    ca, cb = _aligned_counts(a, b)
+    pa = ca / ca.sum()
+    pb = cb / cb.sum()
+    diffs = np.abs(pa - pb)
+    # Pooled standard error per level.
+    pooled = (ca + cb) / (ca.sum() + cb.sum())
+    se = np.sqrt(
+        np.maximum(pooled * (1 - pooled), 1e-300)
+        * (1.0 / ca.sum() + 1.0 / cb.sum())
+    )
+    with np.errstate(invalid="ignore"):
+        sigmas = np.where(diffs > 0, diffs / se, 0.0)
+    statistic, p_value, dof = chi_square_comparison(a, b)
+    return ComparisonReport(
+        tv_distance=total_variation(a, b),
+        chi2_statistic=statistic,
+        p_value=p_value,
+        dof=dof,
+        max_deviation=float(diffs.max()),
+        max_deviation_sigmas=float(sigmas.max()),
+        indistinguishable=p_value > significance,
+    )

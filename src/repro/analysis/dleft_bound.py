@@ -1,0 +1,69 @@
+"""Vöcking's asymmetric bound: ``ln ln n / (d·ln φ_d) + O(1)``.
+
+The point of the d-left scheme (paper Table 7; Vöcking 2003) is a better
+*constant*: with ``d`` subtables and ties to the left the maximum load is
+``ln ln n / (d·ln φ_d) + O(1)``, where ``φ_d`` is the growth rate of the
+``d``-ary (generalized) Fibonacci numbers — the unique root in (1, 2) of
+
+    ``x^d = x^{d−1} + x^{d−2} + … + 1``.
+
+``φ_2`` is the golden ratio; ``φ_d → 2``.  Since ``d·ln φ_d > ln d`` for
+``d ≥ 2``, the d-left constant beats the symmetric scheme's
+``1 / ln d`` — "how asymmetry helps load balancing".  This module computes
+``φ_d`` and the bound, for comparison against :mod:`repro.core.dleft`
+simulations and the witness-tree bound of the symmetric scheme.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = ["phi_d", "dleft_max_load_bound", "symmetric_max_load_coefficient"]
+
+
+def phi_d(d: int, *, tolerance: float = 1e-14) -> float:
+    """The d-ary Fibonacci growth rate: root of ``x^d = Σ_{j<d} x^j``.
+
+    Solved by bisection on [1, 2] of ``f(x) = x^d − (x^d − 1)/(x − 1)``
+    (using the geometric-series closed form), which is monotone there.
+
+    >>> round(phi_d(2), 6)
+    1.618034
+    """
+    if d < 2:
+        raise ConfigurationError(f"phi_d needs d >= 2, got {d}")
+
+    def f(x: float) -> float:
+        # x^d - (x^d - 1)/(x - 1); positive above the root.
+        return x**d - (x**d - 1.0) / (x - 1.0)
+
+    lo, hi = 1.0 + 1e-12, 2.0
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if f(mid) > 0:
+            hi = mid
+        else:
+            lo = mid
+    return 0.5 * (lo + hi)
+
+
+def dleft_max_load_bound(n: int, d: int) -> float:
+    """Vöcking's leading term ``ln ln n / (d·ln φ_d)`` (the O(1) omitted).
+
+    Returned as a float: it is a comparison coefficient, not an integer
+    guarantee at finite n.
+    """
+    if n < 4:
+        raise ConfigurationError(f"n must be at least 4, got {n}")
+    return math.log(math.log(n)) / (d * math.log(phi_d(d)))
+
+
+def symmetric_max_load_coefficient(n: int, d: int) -> float:
+    """The symmetric scheme's leading term ``ln ln n / ln d`` for contrast."""
+    if n < 4:
+        raise ConfigurationError(f"n must be at least 4, got {n}")
+    if d < 2:
+        raise ConfigurationError(f"d must be at least 2, got {d}")
+    return math.log(math.log(n)) / math.log(d)

@@ -1,0 +1,100 @@
+"""Statistical comparison of maximum-load distributions (Table 4's lens).
+
+Table 4 compares the *fraction of trials* whose maximum load equals 3.
+Because max loads are small integers concentrated on two or three values,
+the right comparison is a contingency test over per-trial max-load counts;
+this module provides it plus binomial confidence intervals for single
+fractions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.types import LoadDistribution
+
+__all__ = [
+    "MaxLoadComparison",
+    "compare_max_loads",
+    "max_load_fraction_ci",
+]
+
+
+def max_load_fraction_ci(
+    dist: LoadDistribution, load: int, *, z: float = 1.96
+) -> tuple[float, float, float]:
+    """``(fraction, low, high)`` Wilson interval for P(max load == load).
+
+    The Wilson interval behaves correctly near 0 and 1, where Table 4's
+    fractions live for most n.
+    """
+    k = int(np.sum(dist.max_load_per_trial == load))
+    n = len(dist.max_load_per_trial)
+    if n == 0:
+        return (float("nan"), float("nan"), float("nan"))
+    p = k / n
+    denom = 1 + z**2 / n
+    center = (p + z**2 / (2 * n)) / denom
+    half = (
+        z * math.sqrt(p * (1 - p) / n + z**2 / (4 * n**2)) / denom
+    )
+    return (p, max(0.0, center - half), min(1.0, center + half))
+
+
+@dataclass(frozen=True)
+class MaxLoadComparison:
+    """Contingency-test comparison of two max-load samples.
+
+    Attributes
+    ----------
+    p_value:
+        From a chi-square contingency test over max-load values (Fisher
+        exact for 2x2 tables with small counts).
+    table_values:
+        The max-load values compared.
+    counts_a, counts_b:
+        Per-value trial counts for each sample.
+    indistinguishable:
+        Verdict at the configured significance.
+    """
+
+    p_value: float
+    table_values: tuple[int, ...]
+    counts_a: tuple[int, ...]
+    counts_b: tuple[int, ...]
+    indistinguishable: bool
+
+
+def compare_max_loads(
+    a: LoadDistribution,
+    b: LoadDistribution,
+    *,
+    significance: float = 0.01,
+) -> MaxLoadComparison:
+    """Test whether two max-load samples come from one distribution."""
+    values = sorted(
+        set(a.max_load_per_trial.tolist()) | set(b.max_load_per_trial.tolist())
+    )
+    counts_a = [int(np.sum(a.max_load_per_trial == v)) for v in values]
+    counts_b = [int(np.sum(b.max_load_per_trial == v)) for v in values]
+    table = np.array([counts_a, counts_b])
+    # Drop all-zero columns (cannot occur by construction, but be safe).
+    keep = table.sum(axis=0) > 0
+    table = table[:, keep]
+    if table.shape[1] < 2:
+        p_value = 1.0
+    elif table.shape[1] == 2 and table.min() < 5:
+        _, p_value = sps.fisher_exact(table)
+    else:
+        _, p_value, _, _ = sps.chi2_contingency(table)
+    return MaxLoadComparison(
+        p_value=float(p_value),
+        table_values=tuple(values),
+        counts_a=tuple(counts_a),
+        counts_b=tuple(counts_b),
+        indistinguishable=p_value > significance,
+    )

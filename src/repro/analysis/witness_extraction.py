@@ -1,0 +1,175 @@
+"""Constructing actual witness trees from recorded allocation histories.
+
+Section 2.2 *defines* witness trees; this module *builds* them.  If a bin
+reaches load ``L``, the ball that brought it there is the root, and —
+because that ball was placed in its **least loaded** choice — every one of
+its ``d`` candidate bins held load at least ``L − 1`` at that moment.  For
+each candidate, the ball that brought *it* to load ``L − 1`` becomes a
+child, and so on down to a base load.  The resulting d-ary tree is the
+combinatorial witness whose low probability of existence drives the
+``log log n`` bound: its depth equals ``L − base``, so high loads require
+deep (hence exponentially many-leaved, hence unlikely) witness structures.
+
+Extraction doubles as a strong integrity check of the simulation engines:
+if any placement had not been least-loaded, a required child ball would be
+missing and extraction would fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.ancestry import AllocationHistory
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["WitnessNode", "WitnessTree", "extract_witness_tree"]
+
+
+@dataclass(frozen=True)
+class WitnessNode:
+    """One node of an extracted witness tree.
+
+    Attributes
+    ----------
+    ball:
+        Ball index (= its arrival time).
+    bin:
+        The bin this ball's placement witnesses.
+    level:
+        Load the placement brought ``bin`` to.
+    children:
+        One child per choice of ``ball`` (empty at the base level).
+    """
+
+    ball: int
+    bin: int
+    level: int
+    children: tuple["WitnessNode", ...]
+
+    def iter_nodes(self):
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+
+@dataclass(frozen=True)
+class WitnessTree:
+    """An extracted witness tree plus summary statistics.
+
+    Attributes
+    ----------
+    root:
+        The root node (the ball creating the target load).
+    depth:
+        Edge-depth of the tree (``target_load − base_load``).
+    n_nodes:
+        Total nodes.
+    n_distinct_balls:
+        Number of distinct balls among the nodes — the paper's argument
+        first treats all-distinct trees, then handles repeats; this
+        statistic shows how often repeats actually occur.
+    """
+
+    root: WitnessNode
+    depth: int
+    n_nodes: int
+    n_distinct_balls: int
+
+
+def _placement_index(history: AllocationHistory) -> list[list[int]]:
+    """For each bin, the balls *placed* in it, in time order.
+
+    The ball at position ``k`` (0-based) brought the bin to load ``k+1``.
+    """
+    placed: list[list[int]] = [[] for _ in range(history.n_bins)]
+    for j in range(history.n_balls):
+        placed[int(history.placements[j])].append(j)
+    return placed
+
+
+def extract_witness_tree(
+    history: AllocationHistory,
+    bin_id: int | None = None,
+    *,
+    target_load: int | None = None,
+    base_load: int = 1,
+) -> WitnessTree:
+    """Extract the witness tree for ``bin_id`` reaching ``target_load``.
+
+    Parameters
+    ----------
+    history:
+        A recorded run (see :func:`repro.analysis.ancestry.record_history`).
+    bin_id:
+        Target bin; defaults to (one of) the maximum-loaded bin(s).
+    target_load:
+        Load level to witness; defaults to the bin's final load.  Must be
+        at least ``base_load``.
+    base_load:
+        Recursion floor: nodes at this level become leaves.  The paper's
+        argument uses base 3 (most bins have load < 3 at any time); base 1
+        yields the full tree.
+
+    Raises
+    ------
+    SimulationError
+        If the history is inconsistent with least-loaded placement (a
+        required witness ball is missing) — this would indicate an engine
+        bug and is asserted against in tests.
+    """
+    if base_load < 1:
+        raise ConfigurationError(f"base_load must be >= 1, got {base_load}")
+    placed = _placement_index(history)
+    loads = np.zeros(history.n_bins, dtype=np.int64)
+    for j in range(history.n_balls):
+        loads[history.placements[j]] += 1
+    if bin_id is None:
+        bin_id = int(np.argmax(loads))
+    if not 0 <= bin_id < history.n_bins:
+        raise ConfigurationError(f"bin_id {bin_id} out of range")
+    final_load = int(loads[bin_id])
+    if target_load is None:
+        target_load = final_load
+    if target_load < base_load:
+        raise ConfigurationError(
+            f"target_load {target_load} below base_load {base_load}"
+        )
+    if target_load > final_load:
+        raise ConfigurationError(
+            f"bin {bin_id} only reached load {final_load}, "
+            f"cannot witness {target_load}"
+        )
+
+    def build(b: int, level: int, before: int) -> WitnessNode:
+        """Node for the ball that brought bin ``b`` to ``level`` before
+        time ``before`` (exclusive)."""
+        candidates = placed[b]
+        if level - 1 >= len(candidates):
+            raise SimulationError(
+                f"bin {b} never reached load {level}: inconsistent history"
+            )
+        ball = candidates[level - 1]
+        if ball >= before:
+            raise SimulationError(
+                f"bin {b} reached load {level} only at time {ball}, "
+                f"after the parent ball {before}: inconsistent history"
+            )
+        if level <= base_load:
+            children: tuple[WitnessNode, ...] = ()
+        else:
+            children = tuple(
+                build(int(choice), level - 1, ball)
+                for choice in history.choices[ball]
+            )
+        return WitnessNode(ball=ball, bin=b, level=level, children=children)
+
+    root = build(bin_id, target_load, history.n_balls)
+    nodes = list(root.iter_nodes())
+    return WitnessTree(
+        root=root,
+        depth=target_load - base_load,
+        n_nodes=len(nodes),
+        n_distinct_balls=len({n.ball for n in nodes}),
+    )

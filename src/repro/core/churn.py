@@ -1,0 +1,113 @@
+"""Balanced allocations with deletions ("churn"), per paper Section 2.2.
+
+The paper notes Vöcking's witness-tree argument "also appl[ies] in settings
+with deletions".  This engine makes that setting runnable: after an initial
+fill of ``n_balls`` balls, each churn step deletes one *uniformly random
+alive ball* and inserts a fresh ball through the choice scheme — keeping
+the population constant while the configuration mixes.  The observable is
+the steady-state load distribution, which should again be indistinguishable
+between double hashing and fully random choices.
+
+Implementation follows the lock-step trial layout of
+:mod:`repro.core.vectorized`: ball→bin placements are a ``(trials,
+n_balls)`` matrix, so deletion of a random ball index and re-insertion is a
+vectorized gather/scatter per step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import ChoiceScheme
+from repro.rng import default_generator
+from repro.types import TrialBatchResult
+
+__all__ = ["simulate_churn"]
+
+
+def simulate_churn(
+    scheme: ChoiceScheme,
+    n_balls: int,
+    churn_steps: int,
+    trials: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    block: int = 128,
+) -> TrialBatchResult:
+    """Fill with ``n_balls``, then run ``churn_steps`` delete+insert cycles.
+
+    Parameters
+    ----------
+    scheme:
+        Choice generator (also used for the initial fill).
+    n_balls:
+        Standing population per trial.
+    churn_steps:
+        Number of delete-one/insert-one cycles after the fill.
+    trials:
+        Lock-step trial count.
+    seed, block:
+        As in :func:`repro.core.vectorized.simulate_batch`.
+
+    Returns
+    -------
+    TrialBatchResult
+        Final loads after churn; ``n_balls`` balls remain per trial.
+    """
+    if n_balls < 1:
+        raise ConfigurationError(f"n_balls must be positive, got {n_balls}")
+    if churn_steps < 0:
+        raise ConfigurationError(
+            f"churn_steps must be non-negative, got {churn_steps}"
+        )
+    if trials < 1:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    rng = default_generator(seed)
+    n = scheme.n_bins
+    d = scheme.d
+    loads = np.zeros((trials, n), dtype=np.int32)
+    placements = np.empty((trials, n_balls), dtype=np.int64)
+    rows = np.arange(trials)
+
+    def _insert_block(choice_block, noise_block, ball_slots):
+        """Place one ball per trial for each step in the block."""
+        for s in range(choice_block.shape[0]):
+            ball_choices = choice_block[s]
+            candidate = loads[rows[:, None], ball_choices]
+            picks = np.argmin(candidate + noise_block[s], axis=1)
+            chosen = ball_choices[rows, picks]
+            loads[rows, chosen] += 1
+            placements[rows, ball_slots[s]] = chosen
+
+    # Initial fill: ball j occupies placement slot j.
+    done = 0
+    while done < n_balls:
+        steps = min(block, n_balls - done)
+        choices = scheme.batch(steps * trials, rng).reshape(steps, trials, d)
+        noise = rng.random((steps, trials, d))
+        slots = np.tile(
+            np.arange(done, done + steps)[:, None], (1, trials)
+        )
+        _insert_block(choices, noise, slots)
+        done += steps
+
+    # Churn: delete a uniform alive ball, insert a replacement into its slot.
+    done = 0
+    while done < churn_steps:
+        steps = min(block, churn_steps - done)
+        victims = rng.integers(0, n_balls, size=(steps, trials))
+        choices = scheme.batch(steps * trials, rng).reshape(steps, trials, d)
+        noise = rng.random((steps, trials, d))
+        for s in range(steps):
+            victim_bins = placements[rows, victims[s]]
+            loads[rows, victim_bins] -= 1
+            ball_choices = choices[s]
+            candidate = loads[rows[:, None], ball_choices]
+            picks = np.argmin(candidate + noise[s], axis=1)
+            chosen = ball_choices[rows, picks]
+            loads[rows, chosen] += 1
+            placements[rows, victims[s]] = chosen
+        done += steps
+
+    return TrialBatchResult(n_bins=n, n_balls=n_balls, loads=loads)

@@ -1,0 +1,71 @@
+"""Vöcking's d-left scheme (paper Table 7).
+
+The ``n`` bins are split into ``d`` subtables of size ``n/d`` laid out left
+to right; each ball gets one candidate per subtable and goes to the least
+loaded, breaking ties **toward the leftmost subtable**.  The asymmetric
+tie-breaking is what improves the maximum-load constant from
+``log log n / log d`` to ``log log n / (d·log φ_d)`` (Vöcking 2003).
+
+Implementation: a partitioned choice scheme already emits its ``k``-th
+column inside subtable ``k``, and numpy's ``argmin`` returns the *first*
+minimum, so leftmost tie-breaking is exactly ``tie_break="left"`` on the
+shared engines.  These wrappers only validate the pairing and pick defaults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.vectorized import simulate_batch
+from repro.errors import ConfigurationError
+from repro.hashing.base import ChoiceScheme
+from repro.hashing.partitioned import (
+    PartitionedDoubleHashing,
+    PartitionedFullyRandom,
+    _PartitionedScheme,
+)
+from repro.types import TrialBatchResult
+
+__all__ = ["simulate_dleft", "make_dleft_scheme"]
+
+
+def make_dleft_scheme(n_bins: int, d: int, kind: str = "random") -> ChoiceScheme:
+    """Build the partitioned scheme for a d-left run.
+
+    ``kind`` is ``"random"`` (one uniform choice per subtable) or
+    ``"double"`` (double hashing across subtables).
+    """
+    if kind == "random":
+        return PartitionedFullyRandom(n_bins, d)
+    if kind == "double":
+        return PartitionedDoubleHashing(n_bins, d)
+    raise ConfigurationError(f"kind must be 'random' or 'double', got {kind!r}")
+
+
+def simulate_dleft(
+    scheme: ChoiceScheme,
+    n_balls: int,
+    trials: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    block: int = 128,
+) -> TrialBatchResult:
+    """Run Vöcking's scheme: partitioned choices, ties to the left.
+
+    ``scheme`` must be partitioned (its column ``k`` confined to subtable
+    ``k``); passing an unpartitioned scheme would silently simulate a
+    different process, so it is rejected.
+    """
+    if not isinstance(scheme, _PartitionedScheme):
+        raise ConfigurationError(
+            "d-left simulation requires a partitioned scheme "
+            f"(got {type(scheme).__name__}); build one with make_dleft_scheme"
+        )
+    return simulate_batch(
+        scheme,
+        n_balls,
+        trials,
+        seed=seed,
+        tie_break="left",
+        block=block,
+    )

@@ -1,0 +1,41 @@
+"""One-choice baseline: each ball goes to a single uniform random bin.
+
+The classical comparison point the paper opens with: one choice yields a
+maximum load of ``log n / log log n (1 + o(1))``, versus ``log log n / log d
++ O(1)`` for ``d ≥ 2`` choices.  Because placement does not depend on loads,
+the whole trial collapses to a multinomial draw — no sequential loop at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import default_generator
+from repro.types import TrialBatchResult
+
+__all__ = ["simulate_one_choice"]
+
+
+def simulate_one_choice(
+    n_bins: int,
+    n_balls: int,
+    trials: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> TrialBatchResult:
+    """Throw ``n_balls`` one-choice balls per trial; return final loads.
+
+    Each trial's load vector is one multinomial sample with equal cell
+    probabilities, drawn directly (no ball loop).
+    """
+    if n_bins < 1:
+        raise ConfigurationError(f"n_bins must be positive, got {n_bins}")
+    if n_balls < 0:
+        raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
+    if trials < 1:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    rng = default_generator(seed)
+    pvals = np.full(n_bins, 1.0 / n_bins)
+    loads = rng.multinomial(n_balls, pvals, size=trials).astype(np.int32)
+    return TrialBatchResult(n_bins=n_bins, n_balls=n_balls, loads=loads)

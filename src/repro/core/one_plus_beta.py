@@ -1,0 +1,91 @@
+"""The (1+β)-choice process of Peres, Talwar and Wieder.
+
+Cited in the paper's related work ([36]): each ball flips a β-coin; with
+probability β it uses two choices (least loaded of two), otherwise a single
+uniform choice.  Interpolates between one-choice and two-choice and shows
+that even a *fraction* of two-choice balls collapses the maximum load to
+``Θ(log n / β)``.
+
+We support the same scheme split as the main engines: the two-choice balls
+may draw their pair from fully random hashing or double hashing — extending
+the paper's question ("does double hashing change anything?") to this
+process.  Implemented on the lock-step trial layout of
+:mod:`repro.core.vectorized`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import ChoiceScheme
+from repro.hashing.double_hashing import DoubleHashingChoices
+from repro.hashing.fully_random import FullyRandomChoices
+from repro.rng import default_generator
+from repro.types import TrialBatchResult
+
+__all__ = ["simulate_one_plus_beta"]
+
+
+def simulate_one_plus_beta(
+    n_bins: int,
+    n_balls: int,
+    trials: int,
+    beta: float,
+    *,
+    scheme: ChoiceScheme | str = "random",
+    seed: int | np.random.Generator | None = None,
+    block: int = 128,
+) -> TrialBatchResult:
+    """Run the (1+β)-choice process on ``trials`` lock-step trials.
+
+    Parameters
+    ----------
+    beta:
+        Probability that a ball uses two choices instead of one, in [0, 1].
+    scheme:
+        How the two-choice balls draw their pair: ``"random"``/``"double"``
+        or an explicit two-choice :class:`ChoiceScheme` over ``n_bins``.
+    """
+    if not 0.0 <= beta <= 1.0:
+        raise ConfigurationError(f"beta must be in [0, 1], got {beta}")
+    if n_balls < 0:
+        raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
+    if trials < 1:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    if isinstance(scheme, str):
+        if scheme == "random":
+            scheme = FullyRandomChoices(n_bins, 2)
+        elif scheme == "double":
+            scheme = DoubleHashingChoices(n_bins, 2)
+        else:
+            raise ConfigurationError(
+                f"scheme must be 'random' or 'double', got {scheme!r}"
+            )
+    if scheme.n_bins != n_bins or scheme.d != 2:
+        raise ConfigurationError(
+            "scheme must offer 2 choices over n_bins="
+            f"{n_bins}; got {scheme.describe()}"
+        )
+    rng = default_generator(seed)
+    loads = np.zeros((trials, n_bins), dtype=np.int32)
+    rows = np.arange(trials)
+
+    remaining = n_balls
+    while remaining > 0:
+        steps = min(block, remaining)
+        pair = scheme.batch(steps * trials, rng).reshape(steps, trials, 2)
+        two_choice = rng.random((steps, trials)) < beta
+        noise = rng.random((steps, trials, 2))
+        for s in range(steps):
+            ball_choices = pair[s]
+            candidate = loads[rows[:, None], ball_choices]
+            keys = candidate + noise[s]
+            picks = np.argmin(keys, axis=1)
+            # One-choice balls ignore the comparison and take the first
+            # candidate (marginally uniform for both schemes).
+            picks = np.where(two_choice[s], picks, 0)
+            chosen = ball_choices[rows, picks]
+            loads[rows, chosen] += 1
+        remaining -= steps
+    return TrialBatchResult(n_bins=n_bins, n_balls=n_balls, loads=loads)

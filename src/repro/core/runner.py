@@ -1,0 +1,122 @@
+"""Experiment orchestration: chunked, optionally parallel trial running.
+
+:func:`run_experiment` is the main entry point used by the experiment
+harness and benchmarks.  It splits the requested trials into chunks, runs
+each chunk through the vectorized engine (in-process or across a process
+pool), and folds the chunk summaries into a
+:class:`~repro.core.stats.StreamingLoadAggregator` — so memory stays
+O(max_load) no matter how many trials are requested, matching the paper's
+10^4-trial scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.stats import StreamingLoadAggregator, trial_histograms
+from repro.core.vectorized import simulate_batch
+from repro.errors import ConfigurationError
+from repro.hashing.base import ChoiceScheme
+from repro.parallel import map_trial_chunks
+from repro.types import LoadDistribution
+
+__all__ = ["ExperimentResult", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Aggregated outcome of a multi-trial experiment.
+
+    Attributes
+    ----------
+    distribution:
+        Merged load distribution over all trials.
+    aggregator:
+        The streaming aggregator, exposing per-level sample statistics
+        (Table 5 rows) without retaining raw loads.
+    scheme_description:
+        The scheme's one-line description for reports.
+    """
+
+    distribution: LoadDistribution
+    aggregator: StreamingLoadAggregator
+    scheme_description: str
+
+
+@dataclass(frozen=True)
+class _ChunkTask:
+    """Picklable chunk description shipped to worker processes."""
+
+    scheme: ChoiceScheme
+    n_balls: int
+    tie_break: str
+    block: int
+
+
+def _run_chunk(
+    task: _ChunkTask, chunk_trials: int, seed_seq: np.random.SeedSequence
+) -> np.ndarray:
+    """Worker body: run one chunk, return the per-trial histogram matrix."""
+    rng = np.random.default_rng(seed_seq)
+    batch = simulate_batch(
+        task.scheme,
+        task.n_balls,
+        chunk_trials,
+        seed=rng,
+        tie_break=task.tie_break,
+        block=task.block,
+    )
+    return trial_histograms(batch.loads)
+
+
+def run_experiment(
+    scheme: ChoiceScheme,
+    n_balls: int,
+    trials: int,
+    *,
+    seed: int | None = None,
+    tie_break: str = "random",
+    block: int = 128,
+    workers: int = 1,
+    chunks: int | None = None,
+) -> ExperimentResult:
+    """Run ``trials`` balls-and-bins trials and aggregate the results.
+
+    Parameters
+    ----------
+    scheme:
+        Choice generator (must be picklable when ``workers > 1``; all
+        built-in schemes are).
+    n_balls, trials:
+        Experiment size.
+    seed:
+        Root seed; chunk streams are spawned deterministically from it.
+    tie_break:
+        ``"random"`` (standard scheme) or ``"left"`` (Vöcking).
+    block:
+        Ball-steps per RNG call inside the engine.
+    workers:
+        Process count; 1 (default) runs in-process, still chunked.
+    chunks:
+        Chunk count override (defaults chosen by the pool).
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    histograms = map_trial_chunks(
+        _run_chunk,
+        _ChunkTask(scheme=scheme, n_balls=n_balls, tie_break=tie_break, block=block),
+        trials,
+        seed=seed,
+        workers=workers,
+        chunks=chunks,
+    )
+    aggregator = StreamingLoadAggregator(n_bins=scheme.n_bins, n_balls=n_balls)
+    for hist in histograms:
+        aggregator.update_histograms(hist)
+    return ExperimentResult(
+        distribution=aggregator.distribution(),
+        aggregator=aggregator,
+        scheme_description=scheme.describe(),
+    )

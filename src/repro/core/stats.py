@@ -1,0 +1,194 @@
+"""Table-shaped summaries of simulation results.
+
+Helpers that turn raw :class:`~repro.types.TrialBatchResult` /
+:class:`~repro.types.LoadDistribution` objects into the row formats the
+paper's tables report: per-load fractions, tail fractions, max-load trial
+fractions, and per-level sample statistics (Table 5's min/avg/max/std).
+
+Also provides :class:`StreamingLoadAggregator`, a Welford-style accumulator
+for runs too large to keep all per-trial loads in memory: trials are fed in
+chunks and only O(max_load) state is retained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.types import LevelStats, LoadDistribution, TrialBatchResult
+
+__all__ = [
+    "StreamingLoadAggregator",
+    "level_stats_table",
+    "load_fraction_rows",
+    "tail_fraction_rows",
+    "trial_histograms",
+]
+
+
+def trial_histograms(loads: np.ndarray) -> np.ndarray:
+    """Per-trial load histograms: ``(trials, max_load + 1)`` counts.
+
+    Row ``t`` is ``bincount(loads[t])``, padded to a common width.  This is
+    the compact summary a worker process ships back to the parent (a few
+    dozen integers per trial instead of ``n_bins``).
+    """
+    loads = np.asarray(loads)
+    width = int(loads.max(initial=0)) + 1
+    out = np.zeros((loads.shape[0], width), dtype=np.int64)
+    for t in range(loads.shape[0]):
+        out[t] = np.bincount(loads[t], minlength=width)
+    return out
+
+
+def load_fraction_rows(
+    dist: LoadDistribution, *, min_fraction: float = 0.0
+) -> list[tuple[int, float]]:
+    """``(load, fraction)`` rows as in paper Tables 1, 3, 6, 7.
+
+    Loads whose fraction is at most ``min_fraction`` are dropped (the paper
+    omits all-zero rows).
+    """
+    fractions = dist.fractions
+    return [
+        (load, float(frac))
+        for load, frac in enumerate(fractions)
+        if frac > min_fraction
+    ]
+
+
+def tail_fraction_rows(
+    dist: LoadDistribution, *, max_load: int | None = None
+) -> list[tuple[int, float]]:
+    """``(load, fraction with load >= load)`` rows as in paper Table 2."""
+    tails = dist.tail_fractions
+    stop = len(tails) if max_load is None else min(len(tails), max_load + 1)
+    return [(load, float(tails[load])) for load in range(1, stop)]
+
+
+def level_stats_table(
+    batch: TrialBatchResult, *, max_load: int | None = None
+) -> list[LevelStats]:
+    """Per-load min/avg/max/std of bin counts across trials (Table 5)."""
+    top = int(batch.loads.max(initial=0))
+    if max_load is not None:
+        top = min(top, max_load)
+    return [batch.level_stats(load) for load in range(top + 1)]
+
+
+@dataclass
+class StreamingLoadAggregator:
+    """Welford-style streaming aggregation of per-trial load histograms.
+
+    Feed chunks of trials via :meth:`update`; retrieve a merged
+    :class:`LoadDistribution` and per-level :class:`LevelStats` at any time.
+    Memory is O(max observed load), independent of trial count — required
+    for paper-scale runs (10^4 trials × 2^18 bins would not fit as raw
+    loads).
+    """
+
+    n_bins: int
+    n_balls: int
+    trials: int = 0
+    _counts: np.ndarray = field(default_factory=lambda: np.zeros(1, np.int64))
+    _max_loads: list[int] = field(default_factory=list)
+    # Welford accumulators per load level: count-mean and M2 of the
+    # per-trial number of bins at that level.
+    _mean: np.ndarray = field(default_factory=lambda: np.zeros(1))
+    _m2: np.ndarray = field(default_factory=lambda: np.zeros(1))
+    # Mins start at int64-max ("no data"); _grow keeps that convention for
+    # levels added before any trial has been folded in.
+    _mins: np.ndarray = field(
+        default_factory=lambda: np.full(1, np.iinfo(np.int64).max, np.int64)
+    )
+    _maxs: np.ndarray = field(default_factory=lambda: np.zeros(1, np.int64))
+
+    def _grow(self, width: int) -> None:
+        """Widen the per-level arrays to ``width`` levels.
+
+        A trial processed before level L first appeared contributed zero
+        bins at L, so mins must reflect those implicit zeros.
+        """
+        current = len(self._counts)
+        if width <= current:
+            return
+        pad = width - current
+        self._counts = np.concatenate([self._counts, np.zeros(pad, np.int64)])
+        self._mean = np.concatenate([self._mean, np.zeros(pad)])
+        self._m2 = np.concatenate([self._m2, np.zeros(pad)])
+        new_mins = np.zeros(pad, np.int64)
+        if self.trials == 0:
+            new_mins[:] = np.iinfo(np.int64).max
+        self._mins = np.concatenate([self._mins, new_mins])
+        self._maxs = np.concatenate([self._maxs, np.zeros(pad, np.int64)])
+
+    def update(self, batch: TrialBatchResult) -> None:
+        """Fold a chunk of trials into the aggregate."""
+        if (batch.n_bins, batch.n_balls) != (self.n_bins, self.n_balls):
+            raise ValueError(
+                "geometry mismatch: aggregator is "
+                f"({self.n_bins}, {self.n_balls}), batch is "
+                f"({batch.n_bins}, {batch.n_balls})"
+            )
+        self.update_histograms(trial_histograms(batch.loads))
+
+    def update_histograms(self, per_trial: np.ndarray) -> None:
+        """Fold a ``(chunk_trials, width)`` per-trial histogram matrix.
+
+        Row ``t`` is the load histogram of one trial (``row[i]`` = number of
+        bins with load exactly ``i``).  This is the cross-process transport
+        format: workers ship these tiny matrices instead of raw loads.
+        """
+        per_trial = np.asarray(per_trial, dtype=np.int64)
+        self._grow(per_trial.shape[1])
+        width = len(self._counts)
+        if per_trial.shape[1] < width:
+            pad = width - per_trial.shape[1]
+            per_trial = np.pad(per_trial, ((0, 0), (0, pad)))
+        for row in per_trial:
+            nonzero = np.flatnonzero(row)
+            self._max_loads.append(int(nonzero[-1]) if nonzero.size else 0)
+        self._counts += per_trial.sum(axis=0)
+        self._mins = np.minimum(self._mins, per_trial.min(axis=0))
+        self._maxs = np.maximum(self._maxs, per_trial.max(axis=0))
+        # Chunked Welford merge (Chan et al. parallel variance update).
+        m = per_trial.shape[0]
+        chunk_mean = per_trial.mean(axis=0)
+        chunk_m2 = ((per_trial - chunk_mean) ** 2).sum(axis=0)
+        if self.trials == 0:
+            self._mean = chunk_mean
+            self._m2 = chunk_m2
+        else:
+            delta = chunk_mean - self._mean
+            total = self.trials + m
+            self._mean += delta * (m / total)
+            self._m2 += chunk_m2 + delta**2 * (self.trials * m / total)
+        self.trials += m
+
+    def distribution(self) -> LoadDistribution:
+        """The merged load distribution over all trials seen so far."""
+        if self.trials == 0:
+            raise ValueError("no trials aggregated yet")
+        return LoadDistribution(
+            n_bins=self.n_bins,
+            n_balls=self.n_balls,
+            trials=self.trials,
+            counts=self._counts.copy(),
+            max_load_per_trial=np.array(self._max_loads, dtype=np.int64),
+        )
+
+    def level_stats(self, load: int) -> LevelStats:
+        """Sample statistics of per-trial bin counts at ``load``."""
+        if self.trials == 0:
+            raise ValueError("no trials aggregated yet")
+        if load >= len(self._counts):
+            return LevelStats(load=load, minimum=0, maximum=0, mean=0.0, std=0.0)
+        var = self._m2[load] / (self.trials - 1) if self.trials > 1 else 0.0
+        return LevelStats(
+            load=load,
+            minimum=int(self._mins[load]),
+            maximum=int(self._maxs[load]),
+            mean=float(self._mean[load]),
+            std=float(np.sqrt(var)),
+        )

@@ -1,0 +1,136 @@
+"""Load-trajectory recording: the process *path*, not just its endpoint.
+
+Theorem 8 says ``X_i(t)/n = x_i(t) + o(1)`` for **all** ``t ≤ T``, not only
+at ``T``.  :func:`simulate_trajectory` runs the lock-step engine while
+snapshotting the tail fractions at requested checkpoints, so the whole
+simulated path can be compared against the dense ODE solution — a much
+stronger validation of the fluid-limit claim than endpoint agreement, and
+the data behind "convergence over time" plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import ChoiceScheme
+from repro.rng import default_generator
+
+__all__ = ["LoadTrajectory", "simulate_trajectory"]
+
+
+@dataclass(frozen=True)
+class LoadTrajectory:
+    """Tail-fraction snapshots along a simulated allocation path.
+
+    Attributes
+    ----------
+    times:
+        Checkpoint times in balls-per-bin units (ascending).
+    tails:
+        ``(len(times), max_level + 1)`` array: entry ``(k, i)`` is the
+        fraction of bins with load ≥ i at checkpoint ``k``, averaged over
+        trials.  Column 0 is identically 1.
+    trials:
+        Number of lock-step trials averaged.
+    """
+
+    n_bins: int
+    d: int
+    times: np.ndarray
+    tails: np.ndarray
+    trials: int
+    max_loads: np.ndarray | None = None
+    """Mean (over trials) maximum load at each checkpoint — the max-load
+    growth curve whose flatness is the log log n phenomenon."""
+
+    def tail_series(self, level: int) -> np.ndarray:
+        """The time series of the ≥ ``level`` fraction."""
+        if not 0 <= level < self.tails.shape[1]:
+            raise ValueError(
+                f"level {level} outside recorded range "
+                f"[0, {self.tails.shape[1]})"
+            )
+        return self.tails[:, level]
+
+
+def simulate_trajectory(
+    scheme: ChoiceScheme,
+    t_final: float,
+    trials: int,
+    *,
+    checkpoints: int = 20,
+    max_level: int = 8,
+    seed: int | np.random.Generator | None = None,
+) -> LoadTrajectory:
+    """Run the allocation to ``t_final`` balls per bin, snapshotting tails.
+
+    Parameters
+    ----------
+    scheme:
+        Choice generator (defines n_bins and d).
+    t_final:
+        Horizon in balls-per-bin units.
+    trials:
+        Lock-step trial count (snapshots average over trials).
+    checkpoints:
+        Number of equally spaced snapshot times in (0, t_final].
+    max_level:
+        Highest load level recorded.
+    """
+    if t_final <= 0:
+        raise ConfigurationError(f"t_final must be positive, got {t_final}")
+    if trials < 1:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    if checkpoints < 1:
+        raise ConfigurationError(
+            f"checkpoints must be positive, got {checkpoints}"
+        )
+    rng = default_generator(seed)
+    n = scheme.n_bins
+    d = scheme.d
+    n_balls = int(round(t_final * n))
+    # Checkpoint ball indices (1-based counts after which to snapshot).
+    marks = np.unique(
+        np.round(np.linspace(1, n_balls, checkpoints)).astype(np.int64)
+    )
+    loads = np.zeros((trials, n), dtype=np.int32)
+    rows = np.arange(trials)
+    tails_out = np.zeros((len(marks), max_level + 1))
+    max_out = np.zeros(len(marks))
+    random_ties = d > 1
+
+    next_mark = 0
+    thrown = 0
+    block = 128
+    while thrown < n_balls:
+        steps = min(block, n_balls - thrown)
+        choices = scheme.batch(steps * trials, rng).reshape(steps, trials, d)
+        noise = rng.random((steps, trials, d)) if random_ties else None
+        for s in range(steps):
+            ball_choices = choices[s]
+            candidate = loads[rows[:, None], ball_choices]
+            if random_ties:
+                picks = np.argmin(candidate + noise[s], axis=1)
+            else:
+                picks = np.zeros(trials, dtype=np.int64)
+            chosen = ball_choices[rows, picks]
+            loads[rows, chosen] += 1
+            thrown += 1
+            while next_mark < len(marks) and thrown == marks[next_mark]:
+                for level in range(max_level + 1):
+                    tails_out[next_mark, level] = float(
+                        (loads >= level).mean()
+                    )
+                max_out[next_mark] = float(loads.max(axis=1).mean())
+                next_mark += 1
+    return LoadTrajectory(
+        n_bins=n,
+        d=d,
+        times=marks / float(n),
+        tails=tails_out,
+        trials=trials,
+        max_loads=max_out,
+    )

@@ -1,0 +1,121 @@
+"""Vectorized multi-trial balanced-allocation engine (the hot path).
+
+Strategy
+--------
+The placement of ball *t+1* depends on the loads after ball *t*, so the ball
+loop cannot be vectorized away.  What *can* be vectorized is the trial axis:
+all ``trials`` independent repetitions advance in lock-step, one ball per
+step, with loads held in a single ``(trials, n_bins)`` array.  Each step is
+then four numpy operations over every trial at once:
+
+1. draw a ``(trials, d)`` block of choices from the scheme;
+2. gather candidate loads with fancy indexing;
+3. argmin along the choice axis — uniform tie-breaking is implemented by
+   adding U[0,1) noise to the integer loads before the argmin (the noise
+   perturbs order only within a tie class), while "left" tie-breaking is a
+   plain argmin (numpy returns the first minimum);
+4. scatter-increment the chosen bin of each trial.
+
+Choice blocks and tie-noise are drawn for ``block`` balls at a time to
+amortize RNG call overhead, per the profiling advice in the HPC guides.
+
+Memory: ``loads`` uses int32 — 4 bytes × trials × n_bins (e.g. 64 MiB for
+1000 trials at n = 2^14), and the per-block scratch is
+``block × trials × d`` words.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.hashing.base import ChoiceScheme
+from repro.rng import default_generator
+from repro.types import TrialBatchResult
+
+__all__ = ["simulate_batch", "DEFAULT_BLOCK"]
+
+DEFAULT_BLOCK = 128
+
+
+def simulate_batch(
+    scheme: ChoiceScheme,
+    n_balls: int,
+    trials: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    tie_break: str = "random",
+    block: int = DEFAULT_BLOCK,
+    check_invariants: bool = False,
+) -> TrialBatchResult:
+    """Run ``trials`` independent balls-and-bins trials in lock-step.
+
+    Parameters
+    ----------
+    scheme:
+        Choice generator shared by all trials (stateless per ball).
+    n_balls:
+        Balls thrown per trial.
+    trials:
+        Number of independent trials.
+    seed:
+        Seed or generator driving all randomness.
+    tie_break:
+        ``"random"`` for the paper's standard scheme, ``"left"`` for
+        Vöcking-style leftmost tie-breaking.
+    block:
+        Number of ball steps whose randomness is drawn per RNG call.
+    check_invariants:
+        If True, verify after the run that every trial placed exactly
+        ``n_balls`` balls (cheap O(trials · n_bins) check; used in tests).
+
+    Returns
+    -------
+    TrialBatchResult
+        Raw ``(trials, n_bins)`` final loads plus geometry.
+    """
+    if n_balls < 0:
+        raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
+    if trials < 1:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    if block < 1:
+        raise ConfigurationError(f"block must be positive, got {block}")
+    if tie_break not in ("random", "left"):
+        raise ConfigurationError(
+            f"tie_break must be 'random' or 'left', got {tie_break!r}"
+        )
+    rng = default_generator(seed)
+    n = scheme.n_bins
+    d = scheme.d
+    loads = np.zeros((trials, n), dtype=np.int32)
+    rows = np.arange(trials)
+    random_ties = tie_break == "random" and d > 1
+
+    remaining = n_balls
+    while remaining > 0:
+        steps = min(block, remaining)
+        # One RNG call yields the choices for `steps` balls of every trial.
+        choices = scheme.batch(steps * trials, rng).reshape(steps, trials, d)
+        noise = rng.random((steps, trials, d)) if random_ties else None
+        for s in range(steps):
+            ball_choices = choices[s]
+            candidate = loads[rows[:, None], ball_choices]
+            if random_ties:
+                # Integer loads + U[0,1) noise: ordering between distinct
+                # loads is preserved; ties are broken uniformly.
+                keys = candidate + noise[s]
+                picks = np.argmin(keys, axis=1)
+            else:
+                picks = np.argmin(candidate, axis=1)
+            chosen = ball_choices[rows, picks]
+            loads[rows, chosen] += 1
+        remaining -= steps
+
+    if check_invariants:
+        totals = loads.sum(axis=1, dtype=np.int64)
+        if not np.all(totals == n_balls):
+            raise SimulationError(
+                "ball-conservation violated: expected "
+                f"{n_balls} balls per trial, got totals {np.unique(totals)}"
+            )
+    return TrialBatchResult(n_bins=n, n_balls=n_balls, loads=loads)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch a single type at the API boundary.  Subclasses distinguish configuration
+mistakes (bad parameters) from runtime failures (e.g. an unstable queueing
+system or a cuckoo insertion cycle).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SchemeError",
+    "SimulationError",
+    "StabilityError",
+    "TableFullError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A parameter is out of range or inconsistent with other parameters.
+
+    Raised eagerly at construction time so misconfiguration surfaces before
+    a long simulation starts.
+    """
+
+
+class SchemeError(ConfigurationError):
+    """A choice scheme cannot be built for the requested table geometry.
+
+    For example: double hashing over a table whose size shares a factor with
+    every candidate stride, or a d-left scheme whose subtable count does not
+    divide the number of bins.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A simulation reached an invalid internal state.
+
+    This indicates a bug in the library (violated invariant) rather than a
+    user mistake; it is raised by internal consistency checks.
+    """
+
+
+class StabilityError(SimulationError):
+    """A queueing simulation diverged (arrival rate >= service capacity)."""
+
+
+class TableFullError(ReproError, RuntimeError):
+    """A hash-table structure could not place an item.
+
+    Raised by open addressing when the table is full and by cuckoo hashing
+    when the insertion random walk exceeds its displacement budget.
+    """

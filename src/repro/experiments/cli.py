@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command> [options]``.
+
+Commands
+--------
+- ``table1`` … ``table8`` — regenerate one paper table and print it;
+- ``compare`` — run both schemes on a custom geometry and print the
+  statistical indistinguishability report;
+- ``fluid`` — print fluid-limit tail fractions for a given d and T;
+- ``list`` — list available commands.
+
+The CLI is a thin veneer over :mod:`repro.experiments`; everything it
+prints is available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments import format_table
+from repro.experiments import tables as _tables
+
+__all__ = ["main", "build_parser"]
+
+_TABLE_COMMANDS = {
+    "table1": lambda a: _tables.table1_load_fractions(
+        a.d, n=a.n, trials=a.trials, seed=a.seed, workers=a.workers
+    ),
+    "table2": lambda a: _tables.table2_fluid_vs_simulation(
+        n=a.n, d=a.d, trials=a.trials, seed=a.seed, workers=a.workers
+    ),
+    "table3": lambda a: _tables.table3_larger_n(
+        a.d, log2_n=a.log2_n, trials=a.trials, seed=a.seed, workers=a.workers
+    ),
+    "table4": lambda a: _tables.table4_max_load(
+        a.d, trials=a.trials, seed=a.seed, workers=a.workers
+    ),
+    "table5": lambda a: _tables.table5_level_stats(
+        n=a.n, d=a.d, trials=a.trials, seed=a.seed, workers=a.workers
+    ),
+    "table6": lambda a: _tables.table6_heavy_load(
+        a.d, n=a.n, trials=a.trials, seed=a.seed, workers=a.workers
+    ),
+    "table7": lambda a: _tables.table7_dleft(
+        n=a.n, d=max(a.d, 2), trials=a.trials, seed=a.seed
+    ),
+    "table8": lambda a: _tables.table8_queueing(
+        n=min(a.n, 2**12), sim_time=a.sim_time, burn_in=a.sim_time / 5,
+        seed=a.seed,
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Balanced Allocations and Double Hashing' "
+            "(Mitzenmacher, SPAA 2014)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--n", type=int, default=2**12, help="bins (and balls)")
+        p.add_argument("--d", type=int, default=3, help="choices per ball")
+        p.add_argument("--trials", type=int, default=50)
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--workers", type=int, default=1)
+        p.add_argument("--log2-n", type=int, default=14, dest="log2_n")
+        p.add_argument("--sim-time", type=float, default=300.0, dest="sim_time")
+
+    for name in _TABLE_COMMANDS:
+        add_common(sub.add_parser(name, help=f"regenerate paper {name}"))
+
+    compare = sub.add_parser(
+        "compare", help="double vs random on a custom geometry"
+    )
+    add_common(compare)
+
+    fluid = sub.add_parser("fluid", help="fluid-limit tail fractions")
+    fluid.add_argument("--d", type=int, default=3)
+    fluid.add_argument("--t", type=float, default=1.0)
+    fluid.add_argument("--levels", type=int, default=6)
+
+    zoo = sub.add_parser("zoo", help="all schemes side by side")
+    add_common(zoo)
+
+    peeling = sub.add_parser(
+        "peeling", help="peeling threshold sweep (follow-up paper [30])"
+    )
+    peeling.add_argument("--n", type=int, default=2048)
+    peeling.add_argument("--d", type=int, default=3)
+    peeling.add_argument("--trials", type=int, default=8)
+    peeling.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("list", help="list available commands")
+    sub.add_parser(
+        "validate",
+        help="run the built-in paper-anchor self-checks (~10 s)",
+    )
+    return parser
+
+
+def _run_compare(args) -> int:
+    from repro.analysis import compare_distributions
+    from repro.core import run_experiment
+    from repro.hashing import DoubleHashingChoices, FullyRandomChoices
+
+    random_res = run_experiment(
+        FullyRandomChoices(args.n, args.d), args.n, args.trials,
+        seed=args.seed, workers=args.workers,
+    )
+    double_res = run_experiment(
+        DoubleHashingChoices(args.n, args.d), args.n, args.trials,
+        seed=args.seed + 1, workers=args.workers,
+    )
+    report = compare_distributions(
+        random_res.distribution, double_res.distribution
+    )
+    print(f"n={args.n} d={args.d} trials={args.trials}")
+    print(f"TV distance:        {report.tv_distance:.6f}")
+    print(f"chi-square p-value: {report.p_value:.4f}")
+    print(f"max deviation:      {report.max_deviation:.6f} "
+          f"({report.max_deviation_sigmas:.2f} sigmas)")
+    print("verdict: " + (
+        "indistinguishable" if report.indistinguishable else "DIFFERENT"
+    ))
+    return 0
+
+
+def _run_fluid(args) -> int:
+    from repro.fluid import solve_balls_bins
+
+    fl = solve_balls_bins(args.d, args.t, max_load=max(args.levels, 4))
+    print(f"d={args.d}, T={args.t}: fraction of bins with load >= i")
+    for i in range(1, args.levels + 1):
+        print(f"  i={i}: {fl.tail_at(i):.6g}")
+    return 0
+
+
+def _run_zoo(args) -> int:
+    from repro.experiments.extra import scheme_zoo_experiment
+
+    d = args.d if args.d % 2 == 0 else args.d + 1
+    n = args.n - args.n % d
+    zoo = scheme_zoo_experiment(n, trials=args.trials, d=d, seed=args.seed)
+    print(f"{'scheme':<20} {'empty':>9} {'load>=2':>9} {'mean max':>9}")
+    for name, stats in zoo.items():
+        print(f"{name:<20} {stats['empty']:>9.5f} {stats['tail2']:>9.5f} "
+              f"{stats['max_load']:>9.2f}")
+    return 0
+
+
+def _run_peeling(args) -> int:
+    from repro.peeling import threshold_experiment
+
+    exp = threshold_experiment(
+        args.n, args.d, [0.70, 0.78, 0.86, 0.94],
+        trials=args.trials, seed=args.seed,
+    )
+    print(f"asymptotic threshold c*({args.d}) = "
+          f"{exp.asymptotic_threshold:.5f}")
+    print(f"{'density':>8} {'P(ok) rand':>11} {'P(ok) dbl':>10} "
+          f"{'core rand':>10} {'core dbl':>9}")
+    for i, c in enumerate(exp.densities):
+        print(f"{c:>8.2f} {exp.success_random[i]:>11.2f} "
+              f"{exp.success_double[i]:>10.2f} "
+              f"{exp.core_fraction_random[i]:>10.4f} "
+              f"{exp.core_fraction_double[i]:>9.4f}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("commands: " + " ".join(sorted(_TABLE_COMMANDS) +
+                                      ["compare", "fluid", "list",
+                                       "peeling", "validate", "zoo"]))
+        return 0
+    if args.command == "zoo":
+        return _run_zoo(args)
+    if args.command == "peeling":
+        return _run_peeling(args)
+    if args.command == "validate":
+        from repro.validation import run_validation
+
+        return 0 if run_validation() else 1
+    if args.command == "compare":
+        return _run_compare(args)
+    if args.command == "fluid":
+        return _run_fluid(args)
+    table = _TABLE_COMMANDS[args.command](args)
+    print(format_table(table))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Experiments beyond the paper's tables — probing its open questions.
+
+The conclusion notes that "fluid limits do not straightforwardly apply for
+the heavily loaded case where the number of balls is superlinear in the
+number of bins [5], and it is unclear how double hashing performs in that
+setting."  :func:`gap_experiment` probes that question empirically: for
+``m = c·n`` with growing ``c``, Berenbrink et al. proved the **gap**
+``max load − m/n`` stays ``log log n / log d + O(1)`` *independent of m*
+under full randomness; we measure the gap under both schemes.
+
+:func:`scheme_zoo_experiment` lines up every choice scheme in the library
+(one-choice, (1+β), KP blocks, double hashing, fully random, d-left) on one
+geometry — the summary picture of what reduced randomness does and does
+not change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import (
+    simulate_batch,
+    simulate_dleft,
+    simulate_one_choice,
+    simulate_one_plus_beta,
+)
+from repro.core.dleft import make_dleft_scheme
+from repro.errors import ConfigurationError
+from repro.hashing import (
+    BlockChoices,
+    DoubleHashingChoices,
+    FullyRandomChoices,
+)
+
+__all__ = ["GapExperiment", "gap_experiment", "scheme_zoo_experiment"]
+
+
+@dataclass(frozen=True)
+class GapExperiment:
+    """Gap (max load − mean load) vs. total balls, per scheme.
+
+    Attributes
+    ----------
+    balls_per_bin:
+        The swept ``c = m/n`` values.
+    gap_random, gap_double:
+        Mean over trials of ``max load − m/n`` at each ``c``.
+    """
+
+    n_bins: int
+    d: int
+    balls_per_bin: tuple[int, ...]
+    gap_random: np.ndarray
+    gap_double: np.ndarray
+
+
+def gap_experiment(
+    n_bins: int,
+    d: int,
+    balls_per_bin: tuple[int, ...] = (1, 4, 16, 64),
+    trials: int = 20,
+    *,
+    seed: int = 0,
+) -> GapExperiment:
+    """Measure the heavily-loaded gap for both schemes.
+
+    The open-question probe: if double hashing behaved differently in the
+    superlinear regime, its gap would grow with ``c`` while the fully
+    random gap stays flat (Berenbrink et al.).
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    if not balls_per_bin:
+        raise ConfigurationError("balls_per_bin must be non-empty")
+    gaps = {"random": [], "double": []}
+    for k, c in enumerate(balls_per_bin):
+        m = n_bins * c
+        for name, scheme in (
+            ("random", FullyRandomChoices(n_bins, d)),
+            ("double", DoubleHashingChoices(n_bins, d)),
+        ):
+            batch = simulate_batch(
+                scheme, m, trials, seed=seed + 17 * k + (name == "double")
+            )
+            gap = batch.loads.max(axis=1) - m / n_bins
+            gaps[name].append(float(gap.mean()))
+    return GapExperiment(
+        n_bins=n_bins,
+        d=d,
+        balls_per_bin=tuple(balls_per_bin),
+        gap_random=np.array(gaps["random"]),
+        gap_double=np.array(gaps["double"]),
+    )
+
+
+def scheme_zoo_experiment(
+    n_bins: int,
+    trials: int = 30,
+    *,
+    d: int = 4,
+    seed: int = 0,
+) -> dict[str, dict[str, float]]:
+    """Every scheme in the library on one geometry; summary per scheme.
+
+    Returns ``{scheme_name: {"empty": frac load 0, "tail2": frac load >= 2,
+    "max_load": mean max load}}`` — the single-table overview used by the
+    README and the zoo example.
+    """
+    if d % 2 != 0 or d < 2:
+        raise ConfigurationError(f"the zoo needs even d >= 2, got {d}")
+    if n_bins % d != 0:
+        raise ConfigurationError(f"the zoo needs d | n_bins, got {n_bins}/{d}")
+    results: dict[str, dict[str, float]] = {}
+
+    def summarize(batch) -> dict[str, float]:
+        dist = batch.distribution()
+        return {
+            "empty": dist.fraction_at(0),
+            "tail2": dist.tail_at(2),
+            "max_load": float(batch.loads.max(axis=1).mean()),
+        }
+
+    results["one-choice"] = summarize(
+        simulate_one_choice(n_bins, n_bins, trials, seed=seed)
+    )
+    results["one-plus-beta(0.5)"] = summarize(
+        simulate_one_plus_beta(n_bins, n_bins, trials, beta=0.5, seed=seed + 1)
+    )
+    results["kp-blocks"] = summarize(
+        simulate_batch(BlockChoices(n_bins, d), n_bins, trials, seed=seed + 2)
+    )
+    results["fully-random"] = summarize(
+        simulate_batch(
+            FullyRandomChoices(n_bins, d), n_bins, trials, seed=seed + 3
+        )
+    )
+    results["double-hashing"] = summarize(
+        simulate_batch(
+            DoubleHashingChoices(n_bins, d), n_bins, trials, seed=seed + 4
+        )
+    )
+    results["d-left-double"] = summarize(
+        simulate_dleft(
+            make_dleft_scheme(n_bins, d, "double"), n_bins, trials,
+            seed=seed + 5,
+        )
+    )
+    return results

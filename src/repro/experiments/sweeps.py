@@ -1,0 +1,117 @@
+"""Declarative parameter sweeps with JSON persistence.
+
+For the convergence questions the paper answers qualitatively ("for
+sufficiently large n"), these sweeps make the quantitative version easy to
+run and archive: each sweep varies one parameter, runs both schemes at
+every point, and can be saved/reloaded as JSON via :mod:`repro.io` so long
+runs are diffable across machines and library versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import simulate_batch
+from repro.errors import ConfigurationError
+from repro.fluid import solve_balls_bins
+from repro.hashing import DoubleHashingChoices, FullyRandomChoices
+from repro.io import load_json, save_json
+
+__all__ = [
+    "SweepResult",
+    "convergence_sweep",
+    "load_sweep",
+    "save_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One-parameter sweep over both schemes.
+
+    Attributes
+    ----------
+    parameter:
+        Name of the swept parameter (e.g. ``"log2_n"``).
+    values:
+        Swept values, ascending.
+    metric:
+        Name of the measured quantity.
+    random, double:
+        Metric per swept value, per scheme.
+    meta:
+        Fixed parameters of the sweep.
+    """
+
+    parameter: str
+    values: tuple
+    metric: str
+    random: tuple
+    double: tuple
+    meta: dict
+
+
+def convergence_sweep(
+    d: int = 3,
+    log2_n_values: tuple[int, ...] = (8, 10, 12),
+    *,
+    trials: int = 100,
+    seed: int = 0,
+) -> SweepResult:
+    """Gap between simulated and fluid-limit load fractions, vs table size.
+
+    The metric is ``max_i |sim fraction(i) − fluid fraction(i)|`` over
+    i ≤ 3 — the finite-n error Corollary 9 says vanishes.
+    """
+    if len(log2_n_values) < 1:
+        raise ConfigurationError("log2_n_values must be non-empty")
+    if trials < 1:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    fluid = solve_balls_bins(d, 1.0)
+    gaps: dict[str, list[float]] = {"random": [], "double": []}
+    for k, log2_n in enumerate(log2_n_values):
+        n = 2**log2_n
+        for name, scheme in (
+            ("random", FullyRandomChoices(n, d)),
+            ("double", DoubleHashingChoices(n, d)),
+        ):
+            dist = simulate_batch(
+                scheme, n, trials, seed=seed + 31 * k + (name == "double")
+            ).distribution()
+            gap = max(
+                abs(dist.fraction_at(i) - fluid.fraction_at(i))
+                for i in range(4)
+            )
+            gaps[name].append(float(gap))
+    return SweepResult(
+        parameter="log2_n",
+        values=tuple(log2_n_values),
+        metric="max |simulated - fluid| load fraction (i <= 3)",
+        random=tuple(gaps["random"]),
+        double=tuple(gaps["double"]),
+        meta={"d": d, "trials": trials, "seed": seed},
+    )
+
+
+def save_sweep(result: SweepResult, path: str | Path) -> None:
+    """Persist a sweep result as JSON."""
+    payload = {"kind": "SweepResult", **asdict(result)}
+    save_json(payload, path)
+
+
+def load_sweep(path: str | Path) -> SweepResult:
+    """Reload a sweep saved by :func:`save_sweep`."""
+    data = load_json(path)
+    if data.get("kind") != "SweepResult":
+        raise ValueError(f"not a SweepResult payload: {data.get('kind')!r}")
+    return SweepResult(
+        parameter=data["parameter"],
+        values=tuple(data["values"]),
+        metric=data["metric"],
+        random=tuple(data["random"]),
+        double=tuple(data["double"]),
+        meta=dict(data["meta"]),
+    )

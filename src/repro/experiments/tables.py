@@ -1,0 +1,375 @@
+"""One function per table in the paper's evaluation.
+
+Every function runs both schemes (fully random and double hashing) at a
+configurable scale and returns an :class:`ExperimentTable` whose rows mirror
+the paper's layout, with the published values attached for side-by-side
+reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core import run_experiment, simulate_dleft
+from repro.core.dleft import make_dleft_scheme
+from repro.experiments.config import PAPER_VALUES
+from repro.fluid import (
+    equilibrium_mean_sojourn_time,
+    solve_balls_bins,
+    solve_dleft,
+    solve_heavy_load,
+)
+from repro.hashing import DoubleHashingChoices, FullyRandomChoices
+from repro.queueing import simulate_supermarket
+
+__all__ = [
+    "ExperimentTable",
+    "table1_load_fractions",
+    "table2_fluid_vs_simulation",
+    "table3_larger_n",
+    "table4_max_load",
+    "table5_level_stats",
+    "table6_heavy_load",
+    "table7_dleft",
+    "table8_queueing",
+]
+
+
+@dataclass
+class ExperimentTable:
+    """A reproduced table: header, measured rows, and paper reference.
+
+    Attributes
+    ----------
+    table_id:
+        Paper table identifier, e.g. ``"Table 1(a)"``.
+    title:
+        Caption-style description.
+    columns:
+        Column names, first column is the row key (e.g. load level).
+    rows:
+        List of row tuples aligned with ``columns``.
+    paper:
+        The published values relevant to this run (shape varies by table).
+    meta:
+        Run parameters (n, d, trials, …) for the report header.
+    """
+
+    table_id: str
+    title: str
+    columns: list[str]
+    rows: list[tuple]
+    paper: Any
+    meta: dict = field(default_factory=dict)
+
+
+def table1_load_fractions(
+    d: int = 3,
+    *,
+    n: int = 2**14,
+    trials: int = 100,
+    seed: int = 1,
+    workers: int = 1,
+) -> ExperimentTable:
+    """Table 1: load fractions, random vs double, n balls into n bins."""
+    random_res = run_experiment(
+        FullyRandomChoices(n, d), n, trials, seed=seed, workers=workers
+    )
+    double_res = run_experiment(
+        DoubleHashingChoices(n, d), n, trials, seed=seed + 1, workers=workers
+    )
+    fr = random_res.distribution.fractions
+    fd = double_res.distribution.fractions
+    width = max(len(fr), len(fd))
+    rows = [
+        (
+            load,
+            float(fr[load]) if load < len(fr) else 0.0,
+            float(fd[load]) if load < len(fd) else 0.0,
+        )
+        for load in range(width)
+    ]
+    sub = "a" if d == 3 else "b"
+    return ExperimentTable(
+        table_id=f"Table 1({sub})",
+        title=f"{d} choices, n = {n} balls and bins",
+        columns=["Load", "Fully Random", "Double Hashing"],
+        rows=rows,
+        paper={
+            "random": PAPER_VALUES["table1"].get((d, "random"), {}),
+            "double": PAPER_VALUES["table1"].get((d, "double"), {}),
+        },
+        meta={"n": n, "d": d, "trials": trials},
+    )
+
+
+def table2_fluid_vs_simulation(
+    *,
+    n: int = 2**14,
+    d: int = 3,
+    trials: int = 100,
+    seed: int = 2,
+    workers: int = 1,
+) -> ExperimentTable:
+    """Table 2: fluid-limit tail fractions vs both simulated schemes."""
+    fluid = solve_balls_bins(d, 1.0)
+    random_res = run_experiment(
+        FullyRandomChoices(n, d), n, trials, seed=seed, workers=workers
+    )
+    double_res = run_experiment(
+        DoubleHashingChoices(n, d), n, trials, seed=seed + 1, workers=workers
+    )
+    max_tail = max(
+        len(random_res.distribution.counts), len(double_res.distribution.counts)
+    )
+    rows = [
+        (
+            load,
+            fluid.tail_at(load),
+            random_res.distribution.tail_at(load),
+            double_res.distribution.tail_at(load),
+        )
+        for load in range(1, max_tail)
+    ]
+    return ExperimentTable(
+        table_id="Table 2",
+        title=f"{d} choices, fluid limit (n = inf) vs n = {n} balls and bins",
+        columns=["Tail load >=", "Fluid Limit", "Fully Random", "Double Hashing"],
+        rows=rows,
+        paper=PAPER_VALUES["table2"],
+        meta={"n": n, "d": d, "trials": trials},
+    )
+
+
+def table3_larger_n(
+    d: int = 3,
+    *,
+    log2_n: int = 16,
+    trials: int = 50,
+    seed: int = 3,
+    workers: int = 1,
+) -> ExperimentTable:
+    """Table 3: load fractions at larger table sizes (2^16, 2^18)."""
+    n = 2**log2_n
+    table = table1_load_fractions(
+        d, n=n, trials=trials, seed=seed, workers=workers
+    )
+    table.table_id = f"Table 3 (n = 2^{log2_n}, d = {d})"
+    table.paper = {
+        "random": PAPER_VALUES["table3"].get((log2_n, d, "random"), {}),
+        "double": PAPER_VALUES["table3"].get((log2_n, d, "double"), {}),
+    }
+    return table
+
+
+def table4_max_load(
+    d: int = 3,
+    *,
+    log2_n_values: tuple[int, ...] = (10, 11, 12, 13, 14),
+    trials: int = 200,
+    seed: int = 4,
+    workers: int = 1,
+) -> ExperimentTable:
+    """Table 4: percentage of trials whose maximum load is exactly 3."""
+    rows = []
+    for k, log2_n in enumerate(log2_n_values):
+        n = 2**log2_n
+        random_res = run_experiment(
+            FullyRandomChoices(n, d), n, trials, seed=seed + 2 * k, workers=workers
+        )
+        double_res = run_experiment(
+            DoubleHashingChoices(n, d),
+            n,
+            trials,
+            seed=seed + 2 * k + 1,
+            workers=workers,
+        )
+        rows.append(
+            (
+                f"2^{log2_n}",
+                100.0 * random_res.distribution.fraction_trials_max_load(3),
+                100.0 * double_res.distribution.fraction_trials_max_load(3),
+            )
+        )
+    return ExperimentTable(
+        table_id=f"Table 4 ({d} choices)",
+        title=f"Percentage of trials with maximum load 3, {d} choices",
+        columns=["n", "Fully Random", "Double Hashing"],
+        rows=rows,
+        paper={
+            "random": PAPER_VALUES["table4"].get((d, "random"), {}),
+            "double": PAPER_VALUES["table4"].get((d, "double"), {}),
+        },
+        meta={"d": d, "trials": trials},
+    )
+
+
+def table5_level_stats(
+    *,
+    n: int = 2**18,
+    d: int = 4,
+    trials: int = 30,
+    seed: int = 5,
+    workers: int = 1,
+) -> ExperimentTable:
+    """Table 5: per-load min/avg/max/std of bin counts across trials."""
+    rows: list[tuple] = []
+    paper = PAPER_VALUES["table5"]
+    for label, scheme, s in (
+        ("random", FullyRandomChoices(n, d), seed),
+        ("double", DoubleHashingChoices(n, d), seed + 1),
+    ):
+        res = run_experiment(scheme, n, trials, seed=s, workers=workers)
+        top = len(res.distribution.counts) - 1
+        for load in range(top + 1):
+            st = res.aggregator.level_stats(load)
+            rows.append(
+                (label, load, st.minimum, st.mean, st.maximum, st.std)
+            )
+    return ExperimentTable(
+        table_id="Table 5",
+        title=f"Sample statistics per load, {d} choices, n = {n}",
+        columns=["Scheme", "Load", "min", "avg", "max", "std.dev."],
+        rows=rows,
+        paper=paper,
+        meta={"n": n, "d": d, "trials": trials},
+    )
+
+
+def table6_heavy_load(
+    d: int = 3,
+    *,
+    n: int = 2**14,
+    balls_per_bin: int = 16,
+    trials: int = 50,
+    seed: int = 6,
+    workers: int = 1,
+) -> ExperimentTable:
+    """Table 6: m = 16n balls into n bins — the higher-load regime."""
+    m = n * balls_per_bin
+    random_res = run_experiment(
+        FullyRandomChoices(n, d), m, trials, seed=seed, workers=workers
+    )
+    double_res = run_experiment(
+        DoubleHashingChoices(n, d), m, trials, seed=seed + 1, workers=workers
+    )
+    fluid = solve_heavy_load(d, balls_per_bin)
+    fr = random_res.distribution.fractions
+    fd = double_res.distribution.fractions
+    width = max(len(fr), len(fd))
+    rows = [
+        (
+            load,
+            float(fr[load]) if load < len(fr) else 0.0,
+            float(fd[load]) if load < len(fd) else 0.0,
+            fluid.fraction_at(load),
+        )
+        for load in range(width)
+        if (load < len(fr) and fr[load] > 0)
+        or (load < len(fd) and fd[load] > 0)
+    ]
+    return ExperimentTable(
+        table_id=f"Table 6 ({d} choices)",
+        title=f"{d} choices, {m} balls into {n} bins",
+        columns=["Load", "Fully Random", "Double Hashing", "Fluid Limit"],
+        rows=rows,
+        paper={
+            "random": PAPER_VALUES["table6"].get((d, "random"), {}),
+            "double": PAPER_VALUES["table6"].get((d, "double"), {}),
+        },
+        meta={"n": n, "m": m, "d": d, "trials": trials},
+    )
+
+
+def table7_dleft(
+    *,
+    n: int = 2**14,
+    d: int = 4,
+    trials: int = 100,
+    seed: int = 7,
+) -> ExperimentTable:
+    """Table 7: Vöcking's d-left scheme, random vs double vs fluid."""
+    random_batch = simulate_dleft(
+        make_dleft_scheme(n, d, "random"), n, trials, seed=seed
+    )
+    double_batch = simulate_dleft(
+        make_dleft_scheme(n, d, "double"), n, trials, seed=seed + 1
+    )
+    fluid = solve_dleft(d, 1.0)
+    dr = random_batch.distribution()
+    dd = double_batch.distribution()
+    width = max(len(dr.counts), len(dd.counts))
+    rows = [
+        (
+            load,
+            dr.fraction_at(load),
+            dd.fraction_at(load),
+            fluid.fraction_at(load),
+        )
+        for load in range(width)
+    ]
+    log2_n = int(np.log2(n)) if (n & (n - 1)) == 0 else None
+    return ExperimentTable(
+        table_id="Table 7",
+        title=f"Vöcking's d-left scheme, {d} choices, n = {n}",
+        columns=["Load", "Fully Random", "Double Hashing", "Fluid Limit"],
+        rows=rows,
+        paper={
+            "random": PAPER_VALUES["table7"].get((log2_n, "random"), {}),
+            "double": PAPER_VALUES["table7"].get((log2_n, "double"), {}),
+        },
+        meta={"n": n, "d": d, "trials": trials},
+    )
+
+
+def table8_queueing(
+    *,
+    n: int = 2**10,
+    lambdas: tuple[float, ...] = (0.9, 0.99),
+    d_values: tuple[int, ...] = (3, 4),
+    sim_time: float = 1000.0,
+    burn_in: float = 100.0,
+    seed: int = 8,
+) -> ExperimentTable:
+    """Table 8: supermarket model, mean time in system.
+
+    Scaled down from the paper's n = 2^14 / 10000 s / 100 runs; the
+    equilibrium fluid-limit column provides the scale-free reference the
+    simulated values converge to.
+    """
+    rows = []
+    k = 0
+    for lam in lambdas:
+        for d in d_values:
+            res_r = simulate_supermarket(
+                FullyRandomChoices(n, d), lam, sim_time,
+                burn_in=burn_in, seed=seed + 2 * k,
+            )
+            res_d = simulate_supermarket(
+                DoubleHashingChoices(n, d), lam, sim_time,
+                burn_in=burn_in, seed=seed + 2 * k + 1,
+            )
+            rows.append(
+                (
+                    lam,
+                    d,
+                    res_r.mean_sojourn_time,
+                    res_d.mean_sojourn_time,
+                    equilibrium_mean_sojourn_time(lam, d),
+                )
+            )
+            k += 1
+    return ExperimentTable(
+        table_id="Table 8",
+        title=f"n = {n} queues, average time in system",
+        columns=[
+            "lambda", "Choices", "Fully Random", "Double Hashing",
+            "Fluid Equilibrium",
+        ],
+        rows=rows,
+        paper=PAPER_VALUES["table8"],
+        meta={"n": n, "sim_time": sim_time, "burn_in": burn_in},
+    )

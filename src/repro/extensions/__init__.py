@@ -1,0 +1,40 @@
+"""Neighbouring hash structures the paper motivates.
+
+The paper argues its results "suggest that using double hashing in place of
+fully random choices may similarly yield the same performance in other
+settings that make use of multiple hash functions" (Section 1), naming Bloom
+filters (where Kirsch–Mitzenmacher proved it), cuckoo hashing (studied
+empirically in the follow-up [30]), and classical open addressing (where
+Guibas–Szemerédi / Lueker–Molodowitch proved search cost matches random
+probing).  This package implements all three so the claim can be exercised:
+
+- :mod:`repro.extensions.bloom` — Bloom filter with k-from-2 double-hashed
+  indices vs. k independent hashes; false-positive-rate comparison;
+- :mod:`repro.extensions.cuckoo` — d-ary cuckoo hashing with double-hashed
+  candidate buckets vs. d independent hashes; insertion displacement
+  statistics;
+- :mod:`repro.extensions.open_addressing` — open-addressed table with
+  double-hashing vs. random and linear probing; unsuccessful-search cost
+  against the 1/(1−α) law.
+"""
+
+from repro.extensions.bloom import BloomFilter, theoretical_fpr
+from repro.extensions.cuckoo import CuckooTable
+from repro.extensions.cuckoo_filter import CuckooFilter
+from repro.extensions.dleft_table import DLeftHashTable
+from repro.extensions.iblt import IBLT
+from repro.extensions.open_addressing import (
+    OpenAddressTable,
+    expected_unsuccessful_probes,
+)
+
+__all__ = [
+    "BloomFilter",
+    "CuckooFilter",
+    "CuckooTable",
+    "DLeftHashTable",
+    "IBLT",
+    "OpenAddressTable",
+    "expected_unsuccessful_probes",
+    "theoretical_fpr",
+]

@@ -1,0 +1,201 @@
+"""A d-left fingerprint hash table — the hardware application ([11], [17]).
+
+This is the structure the paper's introduction motivates: router /
+flash-storage hash tables (e.g. ChunkStash) use d-left hashing with small
+fixed-capacity buckets, probing ``d`` subtables in parallel and inserting
+into the least-occupied bucket, ties to the left.  Bucket capacity is fixed
+in hardware, so the engineering question is the **overflow probability** at
+a target occupancy — exactly what the balanced-allocation tail bounds
+control, and where the d-left layout's tighter constant pays off.
+
+Subtable indices come from either ``d`` independent hashes or two hashes
+double-hashing style (the paper's proposal: cheaper hashing, same
+behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TableFullError
+from repro.hashing.hash_functions import TabulationHash
+from repro.rng import default_generator
+
+__all__ = ["DLeftHashTable", "OccupancyStats"]
+
+
+@dataclass(frozen=True)
+class OccupancyStats:
+    """Bucket-occupancy summary of a d-left table.
+
+    Attributes
+    ----------
+    histogram:
+        ``histogram[k]`` = number of buckets holding exactly ``k`` entries.
+    max_occupancy:
+        Fullest bucket.
+    overflow_count:
+        Insertions that failed because all ``d`` candidate buckets were
+        full.
+    """
+
+    histogram: np.ndarray
+    max_occupancy: int
+    overflow_count: int
+
+
+class DLeftHashTable:
+    """d-left hash table storing fingerprints in fixed-capacity buckets.
+
+    Parameters
+    ----------
+    buckets_per_subtable:
+        Buckets in each of the ``d`` subtables.
+    d:
+        Number of subtables.
+    bucket_capacity:
+        Slots per bucket (hardware word budget).
+    mode:
+        ``"double"`` — bucket indices ``(h1 + k·h2) mod buckets`` per
+        subtable ``k``; ``"random"`` — one independent hash per subtable.
+    fingerprint_bits:
+        Stored fingerprint width (lookup false-positive rate is
+        ``~ occupancy · 2^{−bits}`` per bucket probed).
+    seed:
+        Seeds the hash functions.
+    """
+
+    def __init__(
+        self,
+        buckets_per_subtable: int,
+        d: int,
+        *,
+        bucket_capacity: int = 4,
+        mode: str = "double",
+        fingerprint_bits: int = 16,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if buckets_per_subtable < 2:
+            raise ConfigurationError(
+                f"need at least 2 buckets per subtable, got {buckets_per_subtable}"
+            )
+        if d < 2:
+            raise ConfigurationError(f"d must be at least 2, got {d}")
+        if bucket_capacity < 1:
+            raise ConfigurationError(
+                f"bucket_capacity must be positive, got {bucket_capacity}"
+            )
+        if mode not in ("double", "random"):
+            raise ConfigurationError(
+                f"mode must be 'double' or 'random', got {mode!r}"
+            )
+        if not 1 <= fingerprint_bits <= 62:
+            raise ConfigurationError(
+                f"fingerprint_bits must be in [1, 62], got {fingerprint_bits}"
+            )
+        rng = default_generator(seed)
+        self.buckets = int(buckets_per_subtable)
+        self.d = int(d)
+        self.capacity = int(bucket_capacity)
+        self.mode = mode
+        self.fingerprint_bits = int(fingerprint_bits)
+        # occupancy[k, b]: entries in bucket b of subtable k;
+        # slots[k, b, s]: stored fingerprints (0 = empty sentinel).
+        self.occupancy = np.zeros((d, self.buckets), dtype=np.int64)
+        self.slots = np.zeros(
+            (d, self.buckets, self.capacity), dtype=np.int64
+        )
+        self.overflow_count = 0
+        self._is_pow2 = (self.buckets & (self.buckets - 1)) == 0
+        self._fp_hash = TabulationHash(1 << fingerprint_bits, rng)
+        if mode == "double":
+            self._h1 = TabulationHash(self.buckets, rng)
+            self._h2 = TabulationHash(self.buckets, rng)
+        else:
+            self._hashes = [
+                TabulationHash(self.buckets, rng) for _ in range(d)
+            ]
+
+    # -- addressing -----------------------------------------------------------
+
+    def bucket_indices(self, key: int) -> np.ndarray:
+        """One bucket index per subtable for ``key``."""
+        if self.mode == "random":
+            return np.array(
+                [h(key) for h in self._hashes], dtype=np.int64
+            )
+        f = int(self._h1(key))
+        g = int(self._h2(key))
+        if self._is_pow2:
+            g |= 1
+        elif g == 0:
+            g = 1
+        return (f + g * np.arange(self.d, dtype=np.int64)) % self.buckets
+
+    def fingerprint(self, key: int) -> int:
+        """Nonzero fingerprint of ``key`` (0 is the empty-slot sentinel)."""
+        fp = int(self._fp_hash(key))
+        return fp if fp != 0 else 1
+
+    # -- operations -------------------------------------------------------------
+
+    def insert(self, key: int) -> tuple[int, int]:
+        """Insert ``key``; return the (subtable, bucket) used.
+
+        Placement: least-occupied candidate bucket, ties to the left —
+        Vöcking's rule.
+
+        Raises
+        ------
+        TableFullError
+            When all ``d`` candidate buckets are at capacity.
+        """
+        idx = self.bucket_indices(key)
+        occupancies = self.occupancy[np.arange(self.d), idx]
+        k = int(np.argmin(occupancies))  # argmin = leftmost tie
+        if occupancies[k] >= self.capacity:
+            self.overflow_count += 1
+            raise TableFullError(
+                f"all {self.d} candidate buckets full for key {key}"
+            )
+        b = int(idx[k])
+        self.slots[k, b, self.occupancy[k, b]] = self.fingerprint(key)
+        self.occupancy[k, b] += 1
+        return (k, b)
+
+    def lookup(self, key: int) -> bool:
+        """Fingerprint match in any candidate bucket (false positives at
+        rate ~ occupancy · 2^{−fingerprint_bits})."""
+        fp = self.fingerprint(key)
+        idx = self.bucket_indices(key)
+        for k in range(self.d):
+            b = idx[k]
+            used = self.occupancy[k, b]
+            if used and (self.slots[k, b, :used] == fp).any():
+                return True
+        return False
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total stored entries."""
+        return int(self.occupancy.sum())
+
+    @property
+    def load_factor(self) -> float:
+        """Entries per slot over the whole table."""
+        return self.size / (self.d * self.buckets * self.capacity)
+
+    def occupancy_stats(self) -> OccupancyStats:
+        """Bucket-occupancy histogram across all subtables."""
+        hist = np.bincount(
+            self.occupancy.ravel(), minlength=self.capacity + 1
+        )
+        return OccupancyStats(
+            histogram=hist,
+            max_occupancy=int(self.occupancy.max(initial=0)),
+            overflow_count=self.overflow_count,
+        )

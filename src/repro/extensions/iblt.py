@@ -1,0 +1,207 @@
+"""Invertible Bloom Lookup Table with double-hashed cell selection.
+
+The IBLT (Goodrich–Mitzenmacher) is *the* data structure whose recovery
+procedure is literally the peeling process of :mod:`repro.peeling`: each
+key occupies ``d`` cells; each cell keeps (count, keySum, valueSum);
+listing repeatedly finds a count-1 cell (a "pure" cell), reads its
+key/value, and deletes it — i.e. peels a hyperedge.  Complete listing
+succeeds exactly when the key-cell hypergraph's 2-core is empty, so the
+density-evolution thresholds apply (c₃ = 0.81847 keys per cell, …).
+
+Cell selection supports both modes of this repository's central question:
+``d`` independent hashes or two hashes combined double-hashing style.  The
+duplicate-edge caveat (see :mod:`repro.peeling.experiment`) applies in the
+double mode: two distinct keys drawing identical cell sets are unpeelable
+even below threshold — but remain *detectable* (their cells end with
+count 2), so ``list_entries`` reports them as residue rather than failing
+silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing.hash_functions import TabulationHash
+from repro.rng import default_generator
+
+__all__ = ["IBLT", "ListResult"]
+
+
+@dataclass(frozen=True)
+class ListResult:
+    """Outcome of :meth:`IBLT.list_entries`.
+
+    Attributes
+    ----------
+    complete:
+        True when every entry was recovered (the table is now empty).
+    entries:
+        Recovered ``(key, value)`` pairs, in peeling order.
+    residue_cells:
+        Number of nonempty cells left (0 when complete).
+    """
+
+    complete: bool
+    entries: list[tuple[int, int]]
+    residue_cells: int
+
+
+class IBLT:
+    """An invertible Bloom lookup table over int64 keys and values.
+
+    Parameters
+    ----------
+    m:
+        Number of cells.
+    d:
+        Cells per key.
+    mode:
+        ``"double"`` (two tabulation hashes, stride forced to a unit) or
+        ``"random"`` (d independent tabulation hashes).
+    seed:
+        Seeds the hash functions.
+
+    Notes
+    -----
+    Deletions of never-inserted keys are allowed (counts go negative),
+    supporting the set-difference use of IBLTs; a cell is *pure* when its
+    count is ±1 and its keySum hashes back to that cell (checked via the
+    first cell index).
+    """
+
+    def __init__(
+        self,
+        m: int,
+        d: int,
+        *,
+        mode: str = "double",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if m < 2:
+            raise ConfigurationError(f"m must be at least 2, got {m}")
+        if d < 2:
+            raise ConfigurationError(f"d must be at least 2, got {d}")
+        if d > m:
+            raise ConfigurationError(f"d={d} exceeds cell count m={m}")
+        if mode not in ("double", "random"):
+            raise ConfigurationError(
+                f"mode must be 'double' or 'random', got {mode!r}"
+            )
+        rng = default_generator(seed)
+        self.m = int(m)
+        self.d = int(d)
+        self.mode = mode
+        self.count = np.zeros(m, dtype=np.int64)
+        self.key_sum = np.zeros(m, dtype=np.int64)
+        self.value_sum = np.zeros(m, dtype=np.int64)
+        self._is_pow2 = (m & (m - 1)) == 0
+        if mode == "double":
+            self._h1 = TabulationHash(m, rng)
+            self._h2 = TabulationHash(m, rng)
+        else:
+            self._hashes = [TabulationHash(m, rng) for _ in range(d)]
+
+    # -- cell selection ---------------------------------------------------
+
+    def cells(self, key: int) -> np.ndarray:
+        """The ``d`` cells of ``key`` (double mode: an arithmetic
+        progression with a unit stride, hence distinct)."""
+        if self.mode == "random":
+            return np.array([h(key) for h in self._hashes], dtype=np.int64)
+        f = int(self._h1(key))
+        g = int(self._h2(key))
+        if self._is_pow2:
+            g |= 1
+        elif g == 0:
+            g = 1
+        return (f + g * np.arange(self.d, dtype=np.int64)) % self.m
+
+    # -- updates ------------------------------------------------------------
+
+    def _apply(self, key: int, value: int, sign: int) -> None:
+        for c in np.unique(self.cells(key)):
+            self.count[c] += sign
+            self.key_sum[c] ^= int(key)
+            self.value_sum[c] ^= int(value)
+
+    def insert(self, key: int, value: int) -> None:
+        """Insert a key/value pair."""
+        self._apply(int(key), int(value), +1)
+
+    def delete(self, key: int, value: int) -> None:
+        """Delete a pair (tolerates deleting before inserting)."""
+        self._apply(int(key), int(value), -1)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True when every cell is zeroed."""
+        return bool(
+            (self.count == 0).all()
+            and (self.key_sum == 0).all()
+            and (self.value_sum == 0).all()
+        )
+
+    def get(self, key: int) -> int | None:
+        """Value of ``key`` if determinable from some pure cell, else None.
+
+        Returns None both for absent keys and for keys whose cells are all
+        shared (an inherent IBLT limitation).
+        """
+        key = int(key)
+        for c in self.cells(key):
+            if self.count[c] == 1 and self.key_sum[c] == key:
+                return int(self.value_sum[c])
+            if self.count[c] == 0 and self.key_sum[c] == 0:
+                return None  # a provably empty cell: key absent
+        return None
+
+    def _pure_cell_key(self, c: int) -> int | None:
+        """Key recoverable from cell ``c`` if it is pure."""
+        if abs(self.count[c]) != 1:
+            return None
+        key = int(self.key_sum[c])
+        # Verify the key really maps to this cell (guards against XOR
+        # coincidences of colliding entries).
+        if c in self.cells(key):
+            return key
+        return None
+
+    def list_entries(self) -> ListResult:
+        """Peel the table, recovering all entries (destructive).
+
+        Entries inserted an odd number of times are recovered with sign
+        +1 counts; net-deleted entries (count −1 cells) are recovered too,
+        reported with their stored values.
+        """
+        entries: list[tuple[int, int]] = []
+        queue = [c for c in range(self.m) if abs(self.count[c]) == 1]
+        while queue:
+            c = queue.pop()
+            key = self._pure_cell_key(int(c))
+            if key is None:
+                continue
+            sign = int(self.count[c])
+            value = int(self.value_sum[c])
+            entries.append((key, value))
+            self._apply(key, value, -sign)
+            for c2 in np.unique(self.cells(key)):
+                if abs(self.count[c2]) == 1:
+                    queue.append(int(c2))
+        residue = int(np.count_nonzero(self.count) or np.count_nonzero(
+            self.key_sum
+        ))
+        return ListResult(
+            complete=self.is_empty,
+            entries=entries,
+            residue_cells=residue,
+        )
+
+    @property
+    def load(self) -> float:
+        """Entries per cell, estimated from total count mass / d."""
+        return float(self.count.sum()) / (self.d * self.m)

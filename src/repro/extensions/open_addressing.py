@@ -1,0 +1,162 @@
+"""Classical open addressing: double hashing vs. random and linear probing.
+
+The paper's related work recalls the classical result (Guibas–Szemerédi;
+Lueker–Molodowitch; Bradford–Katehakis) that at constant load ``α`` the
+expected unsuccessful-search cost of *double hashing* is ``1/(1−α)`` up to
+lower-order terms — identical to idealized *random probing*.  This module
+provides the table and the measurement so that result can be demonstrated
+alongside the paper's balanced-allocation claims, and includes linear
+probing as the contrast case whose cost ``(1 + 1/(1−α)²)/2`` is
+asymptotically worse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TableFullError
+from repro.hashing.hash_functions import TabulationHash
+from repro.rng import default_generator
+
+__all__ = [
+    "OpenAddressTable",
+    "expected_unsuccessful_probes",
+    "expected_linear_probes",
+]
+
+_EMPTY = -1
+
+
+def expected_unsuccessful_probes(alpha: float) -> float:
+    """Asymptotic unsuccessful-search cost ``1/(1−α)`` for double/random
+    probing."""
+    if not 0.0 <= alpha < 1.0:
+        raise ConfigurationError(f"alpha must be in [0, 1), got {alpha}")
+    return 1.0 / (1.0 - alpha)
+
+
+def expected_linear_probes(alpha: float) -> float:
+    """Knuth's unsuccessful-search cost for linear probing:
+    ``(1 + 1/(1−α)²)/2``."""
+    if not 0.0 <= alpha < 1.0:
+        raise ConfigurationError(f"alpha must be in [0, 1), got {alpha}")
+    return 0.5 * (1.0 + 1.0 / (1.0 - alpha) ** 2)
+
+
+class OpenAddressTable:
+    """Open-addressed hash table over int64 keys with pluggable probing.
+
+    Parameters
+    ----------
+    n:
+        Table size.  Power-of-two sizes keep double-hashing strides valid
+        via odd-forcing; other sizes force a nonzero stride, which only
+        guarantees full-cycle probing when ``n`` is prime.
+    probe:
+        ``"double"`` — ``(h1 + i·h2) mod n``;
+        ``"linear"`` — ``(h1 + i) mod n``;
+        ``"random"`` — per-key pseudo-random probe permutation (idealized
+        random probing), generated lazily by a per-key Fisher–Yates stream.
+    seed:
+        Seeds the hash functions.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        probe: str = "double",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if n < 2:
+            raise ConfigurationError(f"n must be at least 2, got {n}")
+        if probe not in ("double", "linear", "random"):
+            raise ConfigurationError(
+                f"probe must be 'double', 'linear' or 'random', got {probe!r}"
+            )
+        rng = default_generator(seed)
+        self.n = int(n)
+        self.probe = probe
+        self.slots = np.full(n, _EMPTY, dtype=np.int64)
+        self.size = 0
+        self._h1 = TabulationHash(n, rng)
+        self._h2 = TabulationHash(n, rng)
+        self._is_pow2 = (n & (n - 1)) == 0
+        # Per-key permutation seeds for "random" probing.
+        self._perm_salt = int(rng.integers(0, 2**63))
+
+    @property
+    def load_factor(self) -> float:
+        return self.size / self.n
+
+    def _probe_sequence(self, key: int):
+        """Yield the probe positions of ``key`` in order (lazily)."""
+        f = int(self._h1(key))
+        if self.probe == "linear":
+            for i in range(self.n):
+                yield (f + i) % self.n
+            return
+        if self.probe == "double":
+            g = int(self._h2(key))
+            if self._is_pow2:
+                g |= 1
+            elif g == 0:
+                g = 1
+            for i in range(self.n):
+                yield (f + i * g) % self.n
+            return
+        # Idealized random probing: a fresh uniform permutation per key,
+        # deterministic in the key (so search retraces insertion).
+        perm_rng = np.random.default_rng(
+            (int(key) * 0x9E3779B97F4A7C15 + self._perm_salt) & (2**63 - 1)
+        )
+        yield from perm_rng.permutation(self.n).tolist()
+
+    def insert(self, key: int) -> int:
+        """Insert ``key``; return the number of probes used.
+
+        Duplicate keys occupy additional slots (multiset semantics,
+        matching the classical analysis where each insertion is a fresh
+        probe sequence).
+        """
+        if self.size >= self.n:
+            raise TableFullError(f"table of size {self.n} is full")
+        for probes, pos in enumerate(self._probe_sequence(key), start=1):
+            if self.slots[pos] == _EMPTY:
+                self.slots[pos] = key
+                self.size += 1
+                return probes
+        raise TableFullError(  # pragma: no cover - unreachable when size < n
+            "probe sequence did not cover the table; "
+            "use a prime or power-of-two size with double probing"
+        )
+
+    def unsuccessful_search_cost(self, key: int) -> int:
+        """Probes needed to conclude ``key``-as-fresh-key is absent
+        (probes until the first empty slot)."""
+        for probes, pos in enumerate(self._probe_sequence(key), start=1):
+            if self.slots[pos] == _EMPTY:
+                return probes
+        return self.n
+
+    def search(self, key: int) -> bool:
+        """True when ``key`` is present (probing until key or empty)."""
+        for pos in self._probe_sequence(key):
+            slot = self.slots[pos]
+            if slot == key:
+                return True
+            if slot == _EMPTY:
+                return False
+        return False
+
+    def mean_unsuccessful_cost(
+        self,
+        samples: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> float:
+        """Empirical mean unsuccessful-search cost over fresh random keys."""
+        gen = default_generator(rng)
+        keys = gen.integers(2**32, 2**62, size=samples)
+        return float(
+            np.mean([self.unsuccessful_search_cost(int(k)) for k in keys])
+        )

@@ -1,0 +1,52 @@
+"""Fluid-limit (mean-field) models — Section 3 of the paper.
+
+The paper's central theoretical result (Theorem 8, Corollary 9) is that the
+family of differential equations
+
+    ``dx_i/dt = x_{i-1}^d − x_i^d``,   ``x_0 ≡ 1``,  ``x_i(0) = 0`` for i ≥ 1,
+
+which describes the limiting fraction of bins with load ≥ i under *fully
+random* choices, applies unchanged under *double hashing*.  This package
+makes those limits computable:
+
+- :mod:`repro.fluid.balls_bins_ode` — the standard d-choice system
+  (Tables 1–5 predictions);
+- :mod:`repro.fluid.heavy_load` — the same system run to ``T = m/n > 1``
+  (Table 6 predictions);
+- :mod:`repro.fluid.dleft_ode` — Vöcking's d-left system (Table 7
+  predictions);
+- :mod:`repro.fluid.supermarket` — the queueing model: transient ODE,
+  closed-form equilibrium tail ``π_i = λ^((d^i−1)/(d−1))`` and mean sojourn
+  time (Table 8 predictions);
+- :mod:`repro.fluid.solver` — the shared scipy ``solve_ivp`` wrapper.
+"""
+
+from repro.fluid.balls_bins_ode import (
+    BallsBinsFluidLimit,
+    solve_balls_bins,
+)
+from repro.fluid.dleft_ode import DLeftFluidLimit, solve_dleft
+from repro.fluid.heavy_load import solve_heavy_load
+from repro.fluid.wormald import DeviationSweep, deviation_sweep
+from repro.fluid.supermarket import (
+    SupermarketFluidLimit,
+    equilibrium_mean_queue_length,
+    equilibrium_mean_sojourn_time,
+    equilibrium_tail,
+    solve_supermarket,
+)
+
+__all__ = [
+    "BallsBinsFluidLimit",
+    "DLeftFluidLimit",
+    "DeviationSweep",
+    "deviation_sweep",
+    "SupermarketFluidLimit",
+    "equilibrium_mean_queue_length",
+    "equilibrium_mean_sojourn_time",
+    "equilibrium_tail",
+    "solve_balls_bins",
+    "solve_dleft",
+    "solve_heavy_load",
+    "solve_supermarket",
+]

@@ -1,0 +1,119 @@
+"""The standard d-choice balls-and-bins fluid limit (paper Section 3).
+
+State: ``x_i(t)`` = limiting fraction of bins with load **at least** ``i``
+after ``t·n`` balls.  Dynamics (paper, Section 3):
+
+    ``dx_i/dt = x_{i-1}^d − x_i^d``,   ``x_0 ≡ 1``,   ``x_i(0) = 0`` (i ≥ 1).
+
+Theorem 8 shows the same system governs double hashing; Corollary 9 concludes
+the two processes' load fractions differ by o(1).  The numbers in the
+paper's Table 2 come from exactly this system at ``T = 1``, ``d = 3``.
+
+The truncation level ``max_load`` only needs to exceed the loads of
+interest: the tail decays doubly exponentially (``x_i ~ c^(d^i)``), so a
+dozen levels reaches underflow for any constant ``T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fluid.solver import integrate
+
+__all__ = ["BallsBinsFluidLimit", "solve_balls_bins", "balls_bins_rhs"]
+
+
+def balls_bins_rhs(t: float, x: np.ndarray, d: int) -> np.ndarray:
+    """Right-hand side of the d-choice system for the truncated tail vector.
+
+    ``x[j]`` holds ``x_{j+1}`` (the ``x_0 ≡ 1`` boundary is implicit).
+    """
+    xd = x**d
+    upstream = np.empty_like(xd)
+    upstream[0] = 1.0
+    upstream[1:] = xd[:-1]
+    return upstream - xd
+
+
+@dataclass(frozen=True)
+class BallsBinsFluidLimit:
+    """Solved fluid limit: tail fractions and derived load fractions.
+
+    Attributes
+    ----------
+    d:
+        Number of choices.
+    t_final:
+        Horizon in units of ``n`` balls (``T = m/n``).
+    tails:
+        ``tails[i]`` = limiting fraction of bins with load ≥ i;
+        ``tails[0] == 1``.
+    """
+
+    d: int
+    t_final: float
+    tails: np.ndarray
+
+    @property
+    def load_fractions(self) -> np.ndarray:
+        """Limiting fraction of bins with load exactly ``i``."""
+        extended = np.append(self.tails, 0.0)
+        return extended[:-1] - extended[1:]
+
+    @property
+    def mean_load(self) -> float:
+        """Σ_i x_i — equals ``t_final`` exactly (ball conservation)."""
+        return float(self.tails[1:].sum())
+
+    def tail_at(self, load: int) -> float:
+        """Fraction of bins with load at least ``load`` (0 beyond range)."""
+        if load < 0:
+            raise ValueError(f"load must be non-negative, got {load}")
+        return float(self.tails[load]) if load < len(self.tails) else 0.0
+
+    def fraction_at(self, load: int) -> float:
+        """Fraction of bins with load exactly ``load``."""
+        fr = self.load_fractions
+        return float(fr[load]) if 0 <= load < len(fr) else 0.0
+
+
+def solve_balls_bins(
+    d: int,
+    t_final: float = 1.0,
+    *,
+    max_load: int = 16,
+    rtol: float = 1e-10,
+    atol: float = 1e-14,
+) -> BallsBinsFluidLimit:
+    """Solve the d-choice fluid limit up to time ``t_final``.
+
+    Parameters
+    ----------
+    d:
+        Number of choices, at least 1.  (``d = 1`` gives
+        ``dx_i/dt = x_{i-1} − x_i``, the Poisson(t) tail — a useful exact
+        cross-check used in the tests.)
+    t_final:
+        Balls thrown per bin (the paper's ``T``).
+    max_load:
+        Truncation level; ``tails`` has ``max_load + 1`` entries.  Must
+        comfortably exceed the largest load of interest — for the heavy-load
+        table (T = 16) pass ~T + 10.
+    """
+    if d < 1:
+        raise ConfigurationError(f"d must be at least 1, got {d}")
+    if max_load < 1:
+        raise ConfigurationError(f"max_load must be at least 1, got {max_load}")
+    sol = integrate(
+        lambda t, x: balls_bins_rhs(t, x, d),
+        np.zeros(max_load),
+        t_final,
+        rtol=rtol,
+        atol=atol,
+    )
+    x_final = np.clip(sol.y[:, -1], 0.0, 1.0)
+    tails = np.concatenate(([1.0], x_final))
+    return BallsBinsFluidLimit(d=d, t_final=float(t_final), tails=tails)

@@ -1,0 +1,110 @@
+"""Fluid limit for Vöcking's d-left scheme (paper Table 7, ref. [32]).
+
+The ``n`` bins split into ``d`` subtables; a ball draws one uniform candidate
+per subtable and joins the least loaded, ties broken toward the *leftmost*
+subtable.  Let ``y_i^k(t)`` be the fraction of subtable-``k`` bins (out of
+``n/d``) with load at least ``i``.  A ball lands on a subtable-``k`` bin of
+current load ``i−1`` exactly when
+
+- its candidate in ``k`` has load exactly ``i−1``            (``y_{i−1}^k − y_i^k``),
+- every candidate to the left has load **at least i** (a tie at ``i−1``
+  would win leftward)                                         (``Π_{j<k} y_i^j``),
+- every candidate to the right has load **at least i−1** (a tie loses to
+  ``k``)                                                      (``Π_{j>k} y_{i−1}^j``).
+
+Each placement raises that subtable's ≥ i fraction by ``d/n``, and balls
+arrive at rate ``n`` per unit time, giving
+
+    ``dy_i^k/dt = d · (y_{i−1}^k − y_i^k) · Π_{j<k} y_i^j · Π_{j>k} y_{i−1}^j``
+
+with ``y_0^k ≡ 1``.  This is the system of Mitzenmacher–Vöcking (Allerton
+1999), which the paper states extends to double hashing by the same
+ancestry-list argument (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fluid.solver import integrate
+
+__all__ = ["DLeftFluidLimit", "solve_dleft", "dleft_rhs"]
+
+
+def dleft_rhs(t: float, y_flat: np.ndarray, d: int, max_load: int) -> np.ndarray:
+    """RHS over the flattened ``(max_load, d)`` state ``y[i-1, k] = y_i^k``."""
+    y = y_flat.reshape(max_load, d)
+    # y_above[i, k] = y_{i-1}^k with the y_0 == 1 boundary.
+    y_above = np.vstack([np.ones((1, d)), y[:-1]])
+    # Left products: prod_{j<k} y_i^j ; right products: prod_{j>k} y_{i-1}^j.
+    left = np.cumprod(np.hstack([np.ones((max_load, 1)), y[:, :-1]]), axis=1)
+    right = np.cumprod(
+        np.hstack([np.ones((max_load, 1)), y_above[:, :0:-1]]), axis=1
+    )[:, ::-1]
+    dy = d * (y_above - y) * left * right
+    return dy.ravel()
+
+
+@dataclass(frozen=True)
+class DLeftFluidLimit:
+    """Solved d-left fluid limit.
+
+    Attributes
+    ----------
+    d:
+        Number of subtables (= choices).
+    t_final:
+        Balls per bin.
+    subtable_tails:
+        ``(max_load + 1, d)`` array: entry ``(i, k)`` is the fraction of
+        subtable-``k`` bins with load ≥ i (row 0 is all ones).
+    """
+
+    d: int
+    t_final: float
+    subtable_tails: np.ndarray
+
+    @property
+    def tails(self) -> np.ndarray:
+        """Overall fraction of bins with load ≥ i (averaged over subtables,
+        which have equal size)."""
+        return self.subtable_tails.mean(axis=1)
+
+    @property
+    def load_fractions(self) -> np.ndarray:
+        """Overall fraction of bins with load exactly ``i``."""
+        tails = np.append(self.tails, 0.0)
+        return tails[:-1] - tails[1:]
+
+    def fraction_at(self, load: int) -> float:
+        fr = self.load_fractions
+        return float(fr[load]) if 0 <= load < len(fr) else 0.0
+
+
+def solve_dleft(
+    d: int,
+    t_final: float = 1.0,
+    *,
+    max_load: int = 12,
+    rtol: float = 1e-10,
+    atol: float = 1e-14,
+) -> DLeftFluidLimit:
+    """Solve the d-left fluid limit up to ``t_final`` balls per bin."""
+    if d < 1:
+        raise ConfigurationError(f"d must be at least 1, got {d}")
+    if max_load < 1:
+        raise ConfigurationError(f"max_load must be at least 1, got {max_load}")
+    y0 = np.zeros(max_load * d)
+    sol = integrate(
+        lambda t, y: dleft_rhs(t, y, d, max_load),
+        y0,
+        t_final,
+        rtol=rtol,
+        atol=atol,
+    )
+    y_final = np.clip(sol.y[:, -1].reshape(max_load, d), 0.0, 1.0)
+    tails = np.vstack([np.ones((1, d)), y_final])
+    return DLeftFluidLimit(d=d, t_final=float(t_final), subtable_tails=tails)

@@ -1,0 +1,50 @@
+"""Heavily-loaded fluid limit (paper Table 6: m = 16n balls).
+
+The d-choice system of :mod:`repro.fluid.balls_bins_ode` run to
+``T = m/n > 1``.  The load distribution concentrates around the mean load
+``T`` with a window whose width is O(1) in ``T`` — exactly the band of loads
+(9–18 for T = 16, d = 3) the paper's Table 6 reports.
+
+The paper notes (Conclusion) that fluid limits "do not straightforwardly
+apply for the heavily loaded case where the number of balls is superlinear"
+— for *constant* ``T = m/n`` as here they do apply; the caveat concerns
+``m = ω(n)``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.fluid.balls_bins_ode import BallsBinsFluidLimit, solve_balls_bins
+
+__all__ = ["solve_heavy_load"]
+
+
+def solve_heavy_load(
+    d: int,
+    balls_per_bin: float,
+    *,
+    extra_levels: int = 12,
+    rtol: float = 1e-10,
+    atol: float = 1e-14,
+) -> BallsBinsFluidLimit:
+    """Solve the d-choice fluid limit at average load ``balls_per_bin``.
+
+    Parameters
+    ----------
+    d:
+        Number of choices.
+    balls_per_bin:
+        ``T = m/n``; e.g. 16 for the paper's Table 6.
+    extra_levels:
+        Truncation margin above the mean load.  The distribution's upper
+        tail decays doubly exponentially, so ~12 levels beyond ``T``
+        suffices for double precision.
+    """
+    if balls_per_bin < 0:
+        raise ConfigurationError(
+            f"balls_per_bin must be non-negative, got {balls_per_bin}"
+        )
+    max_load = int(balls_per_bin) + extra_levels
+    return solve_balls_bins(
+        d, t_final=balls_per_bin, max_load=max_load, rtol=rtol, atol=atol
+    )

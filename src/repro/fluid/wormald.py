@@ -1,0 +1,114 @@
+"""Measuring the Wormald deviation: how fast simulations reach the limit.
+
+Wormald's theorem (paper ref. [42]) gives ``X_i(t) = n·x_i(t) + o(n)``;
+Theorem 8 extends it to double hashing.  This module quantifies the ``o(n)``
+empirically: for a sequence of table sizes it measures
+
+    ``dev(n) = max_{t, i} | X_i(t)/n − x_i(t) |``
+
+over the whole trajectory, and fits the decay exponent ``dev ~ n^{−γ}``
+(the CLT scale predicts γ ≈ 1/2).  It is both a convergence diagnostic and
+the quantitative content of "the difference is vanishing".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.trajectory import simulate_trajectory
+from repro.errors import ConfigurationError
+from repro.fluid.balls_bins_ode import balls_bins_rhs
+from repro.fluid.solver import integrate
+from repro.hashing.base import ChoiceScheme
+
+__all__ = ["DeviationSweep", "deviation_sweep"]
+
+
+@dataclass(frozen=True)
+class DeviationSweep:
+    """Fluid-limit deviation as a function of table size.
+
+    Attributes
+    ----------
+    n_values:
+        Table sizes swept.
+    deviations:
+        ``max_{t, i <= max_level} |sim − ode|`` per table size.
+    decay_exponent:
+        Least-squares slope of ``log dev`` against ``log n`` (negated), so
+        ``dev ~ n^{−decay_exponent}``; ≈ 0.5 at CLT scaling.
+    """
+
+    d: int
+    n_values: tuple[int, ...]
+    deviations: np.ndarray
+    decay_exponent: float
+
+
+def deviation_sweep(
+    scheme_factory,
+    d: int,
+    n_values: tuple[int, ...] = (256, 1024, 4096),
+    *,
+    t_final: float = 1.0,
+    trials: int = 40,
+    checkpoints: int = 6,
+    max_level: int = 3,
+    seed: int = 0,
+) -> DeviationSweep:
+    """Measure trajectory deviation from the ODE path across table sizes.
+
+    Parameters
+    ----------
+    scheme_factory:
+        ``f(n, d) -> ChoiceScheme`` (e.g. ``DoubleHashingChoices``).
+    d:
+        Choices per ball.
+    n_values:
+        Ascending table sizes.
+    t_final, trials, checkpoints, max_level:
+        Trajectory-recording parameters; deviations are taken over levels
+        ``1..max_level`` at every checkpoint.
+    """
+    if len(n_values) < 2:
+        raise ConfigurationError("need at least two table sizes to fit decay")
+    if sorted(n_values) != list(n_values):
+        raise ConfigurationError(f"n_values must ascend, got {n_values}")
+    sol = integrate(
+        lambda t, x: balls_bins_rhs(t, x, d),
+        np.zeros(max_level + 4),
+        t_final,
+    )
+    deviations = []
+    for k, n in enumerate(n_values):
+        scheme: ChoiceScheme = scheme_factory(n, d)
+        traj = simulate_trajectory(
+            scheme,
+            t_final,
+            trials,
+            checkpoints=checkpoints,
+            max_level=max_level,
+            seed=seed + k,
+        )
+        worst = 0.0
+        for j, t in enumerate(traj.times):
+            ode_tails = np.concatenate(([1.0], sol.sol(t)))
+            for level in range(1, max_level + 1):
+                worst = max(
+                    worst, abs(traj.tails[j, level] - ode_tails[level])
+                )
+        deviations.append(worst)
+    deviations_arr = np.array(deviations)
+    slope, _ = np.polyfit(
+        np.log(np.array(n_values, dtype=float)),
+        np.log(np.maximum(deviations_arr, 1e-12)),
+        1,
+    )
+    return DeviationSweep(
+        d=d,
+        n_values=tuple(n_values),
+        deviations=deviations_arr,
+        decay_exponent=float(-slope),
+    )

@@ -1,0 +1,72 @@
+"""Choice-generation schemes: how a ball obtains its ``d`` candidate bins.
+
+This package isolates the paper's central variable.  Every scheme implements
+:class:`~repro.hashing.base.ChoiceScheme` — a vectorized "give me the next
+``(trials, d)`` block of choices" interface — so the simulation engines in
+:mod:`repro.core` are completely agnostic to *how* choices are produced:
+
+- :class:`~repro.hashing.fully_random.FullyRandomChoices` — ``d`` independent
+  uniform choices (with or without replacement), the paper's baseline;
+- :class:`~repro.hashing.double_hashing.DoubleHashingChoices` — choices
+  ``(f + k·g) mod n`` from two hash values, the paper's subject;
+- :class:`~repro.hashing.partitioned.PartitionedFullyRandom` /
+  :class:`~repro.hashing.partitioned.PartitionedDoubleHashing` — the d-left
+  variants (one choice per subtable) used with Vöcking's scheme (Table 7);
+- :mod:`~repro.hashing.pairwise` — the pairwise-uniformity property the
+  paper identifies as sufficient, with an empirical verifier;
+- :mod:`~repro.hashing.hash_functions` — concrete keyed hash families
+  (multiply-shift, universal mod-prime, simple tabulation) for structures
+  that hash real keys (Bloom filters, cuckoo tables) rather than drawing
+  fresh randomness per ball.
+"""
+
+from repro.hashing.base import ChoiceScheme
+from repro.hashing.block import BlockChoices
+from repro.hashing.double_hashing import DoubleHashingChoices
+from repro.hashing.fully_random import FullyRandomChoices
+from repro.hashing.hash_functions import (
+    MultiplyShiftHash,
+    TabulationHash,
+    UniversalModPrimeHash,
+)
+from repro.hashing.pairwise import empirical_pairwise_stats, is_pairwise_uniform
+from repro.hashing.partitioned import (
+    PartitionedDoubleHashing,
+    PartitionedFullyRandom,
+)
+
+__all__ = [
+    "BlockChoices",
+    "ChoiceScheme",
+    "DoubleHashingChoices",
+    "FullyRandomChoices",
+    "MultiplyShiftHash",
+    "PartitionedDoubleHashing",
+    "PartitionedFullyRandom",
+    "TabulationHash",
+    "UniversalModPrimeHash",
+    "empirical_pairwise_stats",
+    "is_pairwise_uniform",
+]
+
+
+def make_scheme(name: str, n_bins: int, d: int) -> ChoiceScheme:
+    """Build a scheme by short name: ``"random"``, ``"double"``,
+    ``"random-left"``, or ``"double-left"``.
+
+    Convenience for experiment configuration files and CLI-style examples.
+    """
+    registry = {
+        "random": lambda: FullyRandomChoices(n_bins, d, replacement=False),
+        "random-replace": lambda: FullyRandomChoices(n_bins, d, replacement=True),
+        "double": lambda: DoubleHashingChoices(n_bins, d),
+        "random-left": lambda: PartitionedFullyRandom(n_bins, d),
+        "double-left": lambda: PartitionedDoubleHashing(n_bins, d),
+        "blocks": lambda: BlockChoices(n_bins, d),
+    }
+    try:
+        return registry[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; expected one of {sorted(registry)}"
+        ) from None

@@ -1,0 +1,74 @@
+"""Kenthapadi–Panigrahy block choices (paper related work, ref. [19]).
+
+Another reduced-randomness scheme the paper discusses: each ball makes only
+*two* uniform random choices, but each choice selects a **contiguous block**
+of ``d/2`` bins; the ball goes to the least loaded of the ``d`` bins.
+Kenthapadi and Panigrahy showed this preserves the ``O(log log n)`` maximum
+load.  Including it lets the experiment harness compare three
+randomness-reduction strategies side by side: fully random (d values),
+double hashing (2 values, arithmetic progression), and KP blocks (2 values,
+two runs).
+
+Unlike double hashing, the two blocks can overlap, so choices are not
+guaranteed distinct; the engines handle repeated candidates naturally
+(a repeated bin is simply considered once more at the same load).
+
+Empirical contrast (see tests): KP blocks preserve the O(log log n)
+*maximum load* but their load *distribution* measurably deviates from d
+independent choices (in-block bins are adjacent, hence load-correlated) —
+about +0.9 percentage points of empty bins at d = 4.  Double hashing shows
+no such deviation, which is precisely the phenomenon the paper singles out:
+not all randomness-reduction schemes are distribution-exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import ChoiceScheme
+
+__all__ = ["BlockChoices"]
+
+
+class BlockChoices(ChoiceScheme):
+    """Two uniform choices, each expanded to a contiguous block of d/2 bins.
+
+    Parameters
+    ----------
+    n_bins:
+        Table size.
+    d:
+        Total candidates; must be even and at least 2 (two blocks of
+        ``d/2``).  Blocks wrap modulo ``n_bins``.
+    """
+
+    def __init__(self, n_bins: int, d: int) -> None:
+        super().__init__(n_bins, d)
+        if d % 2 != 0:
+            raise ConfigurationError(
+                f"block scheme needs an even number of choices, got d={d}"
+            )
+        self.block = d // 2
+        if self.block > n_bins:
+            raise ConfigurationError(
+                f"block of {self.block} exceeds table size {n_bins}"
+            )
+        self._offsets = np.arange(self.block, dtype=np.int64)
+
+    @property
+    def distinct(self) -> bool:
+        # The two blocks may overlap.
+        return False
+
+    def batch(self, trials: int, rng: np.random.Generator) -> np.ndarray:
+        starts = rng.integers(0, self.n_bins, size=(trials, 2), dtype=np.int64)
+        left = (starts[:, :1] + self._offsets) % self.n_bins
+        right = (starts[:, 1:] + self._offsets) % self.n_bins
+        return np.concatenate([left, right], axis=1)
+
+    def describe(self) -> str:
+        return (
+            f"kp-blocks(n_bins={self.n_bins}, d={self.d}, "
+            f"block={self.block})"
+        )

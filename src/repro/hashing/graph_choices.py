@@ -1,0 +1,86 @@
+"""Graph-constrained choices (Kenthapadi–Panigrahy, related work [19]).
+
+The other related-work model the paper discusses: the two choices of each
+ball are **not** free — they must form an edge of a fixed random graph on
+the bins, sampled once before the process starts.  Kenthapadi and Panigrahy
+showed the two-choice `log log n` behaviour survives as long as the graph
+is dense enough (degree ``n^ε`` suffices; sparse graphs degrade).
+
+This scheme completes the library's randomness-reduction spectrum:
+
+========================  ===========================  =====================
+scheme                    fresh randomness per ball    structure constraint
+========================  ===========================  =====================
+fully random              d values                     none
+double hashing            2 values                     arithmetic progression
+KP blocks                 2 values                     two contiguous runs
+graph choices             1 value (an edge index)      fixed pre-drawn graph
+========================  ===========================  =====================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import ChoiceScheme
+from repro.rng import default_generator
+
+__all__ = ["GraphChoices"]
+
+
+class GraphChoices(ChoiceScheme):
+    """Two choices constrained to the edges of a fixed random graph.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of bins (graph vertices).
+    n_edges:
+        Edges drawn once at construction (uniform pairs of distinct bins,
+        with replacement across edges).  Each ball then picks a uniform
+        edge; its candidates are that edge's endpoints.
+    seed:
+        Seeds the one-time graph draw (NOT the per-ball edge picks, which
+        use the engine's rng as usual).
+    """
+
+    def __init__(
+        self,
+        n_bins: int,
+        n_edges: int,
+        *,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__(n_bins, 2)
+        if n_edges < 1:
+            raise ConfigurationError(f"n_edges must be positive, got {n_edges}")
+        if n_bins < 2:
+            raise ConfigurationError(
+                f"a graph needs at least 2 bins, got {n_bins}"
+            )
+        graph_rng = default_generator(seed)
+        left = graph_rng.integers(0, n_bins, size=n_edges, dtype=np.int64)
+        offset = graph_rng.integers(1, n_bins, size=n_edges, dtype=np.int64)
+        right = (left + offset) % n_bins  # distinct endpoint
+        self.edges = np.stack([left, right], axis=1)
+        self.n_edges = int(n_edges)
+
+    @property
+    def distinct(self) -> bool:
+        return True
+
+    @property
+    def mean_degree(self) -> float:
+        """Average bin degree ``2·|E|/n`` — the density knob of [19]."""
+        return 2.0 * self.n_edges / self.n_bins
+
+    def batch(self, trials: int, rng: np.random.Generator) -> np.ndarray:
+        picks = rng.integers(0, self.n_edges, size=trials, dtype=np.int64)
+        return self.edges[picks]
+
+    def describe(self) -> str:
+        return (
+            f"graph-choices(n_bins={self.n_bins}, edges={self.n_edges}, "
+            f"mean_degree={self.mean_degree:.1f})"
+        )

@@ -1,0 +1,129 @@
+"""Concrete keyed hash families.
+
+The balls-and-bins engines draw fresh randomness per ball, but the hash-table
+structures in :mod:`repro.extensions` (Bloom filters, cuckoo tables, open
+addressing) hash *keys*: the same key must always map to the same choices.
+These families provide that, each with the standard universality guarantee:
+
+- :class:`UniversalModPrimeHash` — Carter–Wegman ``((a·x + b) mod p) mod n``,
+  2-universal;
+- :class:`MultiplyShiftHash` — Dietzfelbinger's multiply-shift for
+  power-of-two ranges, 2-universal (up to a factor 2);
+- :class:`TabulationHash` — Patrascu–Thorup simple tabulation,
+  3-independent and "behaves like full randomness" for many applications
+  (cited as related work in the paper).
+
+All families hash 64-bit integer keys and are vectorized over numpy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.numtheory import next_prime
+
+__all__ = ["UniversalModPrimeHash", "MultiplyShiftHash", "TabulationHash"]
+
+_U64 = np.uint64
+
+
+class UniversalModPrimeHash:
+    """Carter–Wegman universal hashing: ``((a·x + b) mod p) mod n``.
+
+    Parameters
+    ----------
+    n:
+        Output range ``[0, n)``.
+    rng:
+        Used to draw ``a`` (nonzero) and ``b`` uniformly mod ``p``.
+    key_bits:
+        Maximum key width; ``p`` is chosen as the first prime above
+        ``2^key_bits`` so every key is a distinct residue.
+    """
+
+    def __init__(
+        self, n: int, rng: np.random.Generator, *, key_bits: int = 32
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"range must be positive, got {n}")
+        self.n = int(n)
+        self.p = next_prime(1 << key_bits)
+        self.a = int(rng.integers(1, self.p))
+        self.b = int(rng.integers(0, self.p))
+
+    def __call__(self, keys: np.ndarray | int) -> np.ndarray | int:
+        if np.isscalar(keys):
+            return ((self.a * int(keys) + self.b) % self.p) % self.n
+        keys = np.asarray(keys, dtype=np.int64)
+        # Go through Python ints per element only when p exceeds 63 bits;
+        # for the default 32-bit key space everything fits in int64 via
+        # object-free modular arithmetic on uint64.
+        out = (self.a * keys.astype(object) + self.b) % self.p % self.n
+        return out.astype(np.int64)
+
+
+class MultiplyShiftHash:
+    """Dietzfelbinger multiply-shift: ``(a * x) >> (64 - log2(n))``.
+
+    Requires ``n`` to be a power of two.  ``a`` is a random odd 64-bit
+    multiplier.  This is the family deployed hardware implementations favor
+    (single multiply, no division), matching the paper's motivation that
+    double hashing suits hardware.
+    """
+
+    def __init__(self, n: int, rng: np.random.Generator) -> None:
+        if n < 1 or (n & (n - 1)) != 0:
+            raise ConfigurationError(
+                f"multiply-shift needs a power-of-two range, got {n}"
+            )
+        self.n = int(n)
+        self.shift = 64 - (n.bit_length() - 1) if n > 1 else 64
+        self.a = int(rng.integers(0, 1 << 63, dtype=np.int64)) * 2 + 1
+
+    def __call__(self, keys: np.ndarray | int) -> np.ndarray | int:
+        if self.n == 1:
+            return 0 if np.isscalar(keys) else np.zeros(len(keys), np.int64)
+        if np.isscalar(keys):
+            return ((self.a * int(keys)) & ((1 << 64) - 1)) >> self.shift
+        keys = np.asarray(keys).astype(_U64)
+        with np.errstate(over="ignore"):
+            prod = keys * _U64(self.a & ((1 << 64) - 1))
+        return (prod >> _U64(self.shift)).astype(np.int64)
+
+
+class TabulationHash:
+    """Simple tabulation hashing over 64-bit keys split into 8-bit chars.
+
+    Eight lookup tables of 256 random words are XOR-combined; the result is
+    reduced to ``[0, n)``.  For power-of-two ``n`` the reduction is a mask
+    (preserving full independence properties); otherwise a modulo.
+    """
+
+    CHARS = 8
+    TABLE_SIZE = 256
+
+    def __init__(self, n: int, rng: np.random.Generator) -> None:
+        if n < 1:
+            raise ConfigurationError(f"range must be positive, got {n}")
+        self.n = int(n)
+        self.tables = rng.integers(
+            0, 1 << 63, size=(self.CHARS, self.TABLE_SIZE), dtype=np.int64
+        ).astype(_U64) << _U64(1)
+        self.tables |= rng.integers(
+            0, 2, size=(self.CHARS, self.TABLE_SIZE), dtype=np.int64
+        ).astype(_U64)
+        self._pow2 = (self.n & (self.n - 1)) == 0
+
+    def __call__(self, keys: np.ndarray | int) -> np.ndarray | int:
+        scalar = np.isscalar(keys)
+        arr = np.atleast_1d(np.asarray(keys)).astype(_U64)
+        acc = np.zeros(arr.shape, dtype=_U64)
+        for c in range(self.CHARS):
+            byte = (arr >> _U64(8 * c)) & _U64(0xFF)
+            acc ^= self.tables[c][byte.astype(np.int64)]
+        if self._pow2:
+            out = (acc & _U64(self.n - 1)).astype(np.int64)
+        else:
+            out = (acc % _U64(self.n)).astype(np.int64)
+        return int(out[0]) if scalar else out

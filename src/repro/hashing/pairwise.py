@@ -1,0 +1,134 @@
+"""Pairwise-uniformity verification.
+
+The paper's closing remark in Section 1: every result holds for *any* scheme
+whose ``d`` choices are pairwise uniform over distinct bins —
+
+    ``Pr(h_i = b1) = 1/n``  and  ``Pr(h_i = b1 and h_j = b2) = 1/(n(n-1))``
+    for all ``i ≠ j`` and distinct bins ``b1, b2``
+
+(the second probability is per *ordered* pair; the paper writes the
+unordered form ``1/C(n,2)`` for the unordered event).  This module provides
+an empirical verifier used by the test suite to certify that
+:class:`~repro.hashing.double_hashing.DoubleHashingChoices` has the property
+and that intentionally-broken schemes do not.
+
+Scope note: exact pairwise uniformity holds for **prime** table sizes,
+where ``(j−i)·g`` ranges uniformly over all nonzero differences.  For
+composite ``n`` (including powers of two) the pair difference is confined
+to multiples of units — e.g. with ``n = 2^k`` the difference of choices two
+apart is always even — which is the situation the paper's footnote 5
+handles via the totient: each admissible pair is uniform over its Ω(n)
+possibilities, which suffices for every asymptotic argument.  Run the
+verifier on prime geometries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hashing.base import ChoiceScheme
+
+__all__ = ["PairwiseStats", "empirical_pairwise_stats", "is_pairwise_uniform"]
+
+
+@dataclass(frozen=True)
+class PairwiseStats:
+    """Empirical marginal/pair frequencies for a choice scheme.
+
+    Attributes
+    ----------
+    marginal:
+        ``(d, n)`` array: ``marginal[i, b]`` estimates ``Pr(h_i = b)``.
+    pair_counts:
+        ``(n, n)`` array pooled over all ordered position pairs ``(i, j)``,
+        ``i ≠ j``: entry ``(b1, b2)`` counts occurrences of
+        ``h_i = b1, h_j = b2``.  The diagonal counts collisions within a
+        ball (zero for distinct schemes).
+    samples:
+        Number of balls drawn.
+    """
+
+    marginal: np.ndarray
+    pair_counts: np.ndarray
+    samples: int
+
+    @property
+    def max_marginal_error(self) -> float:
+        """Largest absolute deviation of any marginal from 1/n."""
+        n = self.marginal.shape[1]
+        return float(np.abs(self.marginal - 1.0 / n).max())
+
+    @property
+    def max_pair_error(self) -> float:
+        """Largest absolute deviation of any off-diagonal ordered-pair
+        frequency from ``1/(n(n-1))``."""
+        n = self.pair_counts.shape[0]
+        d = self.marginal.shape[0]
+        total_pairs = self.samples * d * (d - 1)
+        freq = self.pair_counts / max(total_pairs, 1)
+        off = freq[~np.eye(n, dtype=bool)]
+        return float(np.abs(off - 1.0 / (n * (n - 1))).max())
+
+
+def empirical_pairwise_stats(
+    scheme: ChoiceScheme,
+    samples: int,
+    rng: np.random.Generator,
+    *,
+    batch_size: int = 8192,
+) -> PairwiseStats:
+    """Estimate the marginal and pairwise choice distributions of ``scheme``.
+
+    Memory is O(n^2) for the pair table, so keep ``scheme.n_bins`` modest
+    (this is a verification tool for small geometries, not a hot path).
+    """
+    n, d = scheme.n_bins, scheme.d
+    marginal_counts = np.zeros((d, n), dtype=np.int64)
+    pair_counts = np.zeros((n, n), dtype=np.int64)
+    remaining = samples
+    while remaining > 0:
+        block = min(batch_size, remaining)
+        choices = scheme.batch(block, rng)
+        for i in range(d):
+            marginal_counts[i] += np.bincount(choices[:, i], minlength=n)
+        # Pool every ordered position pair into the (b1, b2) table.
+        for i in range(d):
+            for j in range(d):
+                if i == j:
+                    continue
+                flat = choices[:, i] * n + choices[:, j]
+                pair_counts += np.bincount(flat, minlength=n * n).reshape(n, n)
+        remaining -= block
+    return PairwiseStats(
+        marginal=marginal_counts / samples,
+        pair_counts=pair_counts,
+        samples=samples,
+    )
+
+
+def is_pairwise_uniform(
+    scheme: ChoiceScheme,
+    samples: int,
+    rng: np.random.Generator,
+    *,
+    tolerance_sigmas: float = 6.0,
+) -> bool:
+    """Empirically accept/reject pairwise uniformity of ``scheme``.
+
+    Compares the worst-case marginal and pair deviations against a normal
+    sampling envelope of ``tolerance_sigmas`` standard errors.  This is a
+    screening test (not a formal hypothesis test across all cells); the unit
+    tests pair it with exact enumeration on tiny geometries.
+    """
+    stats = empirical_pairwise_stats(scheme, samples, rng)
+    n, d = scheme.n_bins, scheme.d
+    p_marg = 1.0 / n
+    se_marg = np.sqrt(p_marg * (1 - p_marg) / samples)
+    if stats.max_marginal_error > tolerance_sigmas * se_marg:
+        return False
+    pair_samples = samples * d * (d - 1)
+    p_pair = 1.0 / (n * (n - 1))
+    se_pair = np.sqrt(p_pair * (1 - p_pair) / max(pair_samples, 1))
+    return stats.max_pair_error <= tolerance_sigmas * se_pair

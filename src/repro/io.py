@@ -1,0 +1,111 @@
+"""JSON serialization of results — persist and reload experiment outputs.
+
+Long sweeps (paper-scale trials, density sweeps) should be resumable and
+diffable; these helpers give every result dataclass a stable JSON form:
+
+- :func:`distribution_to_dict` / :func:`distribution_from_dict` for
+  :class:`~repro.types.LoadDistribution`;
+- :func:`save_json` / :func:`load_json` with numpy-aware encoding;
+- round-trips are exact for integer counts and bit-exact for floats.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.types import LoadDistribution, QueueingResult
+
+__all__ = [
+    "distribution_from_dict",
+    "distribution_to_dict",
+    "load_json",
+    "queueing_result_from_dict",
+    "queueing_result_to_dict",
+    "save_json",
+]
+
+
+class _NumpyEncoder(json.JSONEncoder):
+    """JSON encoder accepting numpy scalars and arrays."""
+
+    def default(self, obj: Any) -> Any:
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        return super().default(obj)
+
+
+def distribution_to_dict(dist: LoadDistribution) -> dict:
+    """Stable dict form of a load distribution."""
+    return {
+        "kind": "LoadDistribution",
+        "n_bins": dist.n_bins,
+        "n_balls": dist.n_balls,
+        "trials": dist.trials,
+        "counts": dist.counts.tolist(),
+        "max_load_per_trial": dist.max_load_per_trial.tolist(),
+    }
+
+
+def distribution_from_dict(data: dict) -> LoadDistribution:
+    """Inverse of :func:`distribution_to_dict`."""
+    if data.get("kind") != "LoadDistribution":
+        raise ValueError(f"not a LoadDistribution payload: {data.get('kind')!r}")
+    return LoadDistribution(
+        n_bins=int(data["n_bins"]),
+        n_balls=int(data["n_balls"]),
+        trials=int(data["trials"]),
+        counts=np.asarray(data["counts"], dtype=np.int64),
+        max_load_per_trial=np.asarray(
+            data["max_load_per_trial"], dtype=np.int64
+        ),
+    )
+
+
+def queueing_result_to_dict(result: QueueingResult) -> dict:
+    """Stable dict form of a queueing result."""
+    return {
+        "kind": "QueueingResult",
+        "mean_sojourn_time": result.mean_sojourn_time,
+        "completed_jobs": result.completed_jobs,
+        "mean_queue_length": result.mean_queue_length,
+        "sim_time": result.sim_time,
+        "tail_fractions": (
+            None
+            if result.tail_fractions is None
+            else result.tail_fractions.tolist()
+        ),
+    }
+
+
+def queueing_result_from_dict(data: dict) -> QueueingResult:
+    """Inverse of :func:`queueing_result_to_dict`."""
+    if data.get("kind") != "QueueingResult":
+        raise ValueError(f"not a QueueingResult payload: {data.get('kind')!r}")
+    tails = data.get("tail_fractions")
+    return QueueingResult(
+        mean_sojourn_time=float(data["mean_sojourn_time"]),
+        completed_jobs=int(data["completed_jobs"]),
+        mean_queue_length=float(data["mean_queue_length"]),
+        sim_time=float(data["sim_time"]),
+        tail_fractions=None if tails is None else np.asarray(tails),
+    )
+
+
+def save_json(payload: Any, path: str | Path) -> None:
+    """Write ``payload`` as pretty-printed, numpy-tolerant JSON."""
+    Path(path).write_text(
+        json.dumps(payload, cls=_NumpyEncoder, indent=2, sort_keys=True)
+    )
+
+
+def load_json(path: str | Path) -> Any:
+    """Read a JSON payload written by :func:`save_json`."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,78 @@
+"""Integer factorization (trial division + Pollard's rho) and Euler's totient.
+
+The totient φ(n) counts the valid double-hashing strides mod ``n``.  The
+paper's footnote 5 notes the collision probability for non-prime ``n`` is
+``O(1/(n φ(n)))``; :func:`euler_phi` lets the analysis module compute that
+exactly for any table size.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.numtheory.primes import is_prime
+
+__all__ = ["factorize", "euler_phi"]
+
+
+def _pollard_rho(n: int) -> int:
+    """Find a non-trivial factor of composite odd ``n`` via Brent's rho."""
+    if n % 2 == 0:  # pragma: no cover - callers strip factors of 2 first
+        return 2
+    # Brent's cycle-finding variant; deterministic restart schedule over c.
+    for c in range(1, 64):
+        x = y = 2
+        d = 1
+        f = lambda v: (v * v + c) % n  # noqa: E731 - tiny local polynomial
+        while d == 1:
+            x = f(x)
+            y = f(f(y))
+            d = math.gcd(abs(x - y), n)
+        if d != n:
+            return d
+    raise ArithmeticError(f"pollard rho failed to factor {n}")  # pragma: no cover
+
+
+def factorize(n: int) -> dict[int, int]:
+    """Return the prime factorization of ``n`` as ``{prime: exponent}``.
+
+    >>> factorize(360)
+    {2: 3, 3: 2, 5: 1}
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    factors: dict[int, int] = {}
+    for p in (2, 3, 5, 7, 11, 13):
+        while n % p == 0:
+            factors[p] = factors.get(p, 0) + 1
+            n //= p
+    stack = [n] if n > 1 else []
+    while stack:
+        m = stack.pop()
+        if m == 1:
+            continue
+        if is_prime(m):
+            factors[m] = factors.get(m, 0) + 1
+            continue
+        d = _pollard_rho(m)
+        stack.append(d)
+        stack.append(m // d)
+    return dict(sorted(factors.items()))
+
+
+def euler_phi(n: int) -> int:
+    """Euler's totient: the number of units mod ``n``.
+
+    >>> euler_phi(2**14)
+    8192
+    >>> euler_phi(16411)  # prime
+    16410
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    if n == 1:
+        return 1
+    phi = n
+    for p in factorize(n):
+        phi -= phi // p
+    return phi

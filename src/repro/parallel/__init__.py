@@ -1,0 +1,12 @@
+"""Multi-process fan-out of independent simulation trials.
+
+Follows the structure the HPC guides recommend for Python: vectorize inside
+a process (numpy lock-step trials), parallelize across processes with
+independent, deterministically spawned random streams.  The API mirrors an
+MPI scatter/gather over trial chunks but uses ``multiprocessing`` so the
+library has no extra dependencies.
+"""
+
+from repro.parallel.pool import map_trial_chunks, partition_trials
+
+__all__ = ["map_trial_chunks", "partition_trials"]

@@ -1,0 +1,97 @@
+"""Process-pool mapping of trial chunks with deterministic seed streams.
+
+The work unit is "run ``k`` trials and return a compact summary".  Workers
+receive a picklable task object plus their own ``SeedSequence`` child, so the
+overall result is reproducible from the root seed regardless of scheduling —
+the multiprocessing analogue of MPI rank-indexed RNG streams.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from collections.abc import Callable, Sequence
+from typing import Any, TypeVar
+
+import numpy as np
+
+from repro.rng import spawn_seeds
+
+__all__ = ["partition_trials", "map_trial_chunks", "default_workers"]
+
+T = TypeVar("T")
+
+
+def default_workers() -> int:
+    """Worker count: CPU count capped at 8 (diminishing returns beyond)."""
+    return min(os.cpu_count() or 1, 8)
+
+
+def partition_trials(trials: int, chunks: int) -> list[int]:
+    """Split ``trials`` into ``chunks`` near-equal positive parts.
+
+    >>> partition_trials(10, 4)
+    [3, 3, 2, 2]
+    """
+    if trials < 0:
+        raise ValueError(f"trials must be non-negative, got {trials}")
+    if chunks < 1:
+        raise ValueError(f"chunks must be positive, got {chunks}")
+    chunks = min(chunks, trials) or 1
+    base, extra = divmod(trials, chunks)
+    return [base + (1 if i < extra else 0) for i in range(chunks)]
+
+
+def _invoke(
+    args: tuple[Callable[[Any, int, np.random.SeedSequence], T], Any, int, np.random.SeedSequence],
+) -> T:
+    func, task, chunk_trials, seed_seq = args
+    return func(task, chunk_trials, seed_seq)
+
+
+def map_trial_chunks(
+    func: Callable[[Any, int, np.random.SeedSequence], T],
+    task: Any,
+    trials: int,
+    *,
+    seed: int | None = None,
+    workers: int | None = None,
+    chunks: int | None = None,
+) -> list[T]:
+    """Run ``func(task, chunk_trials, seed_seq)`` over partitioned trials.
+
+    Parameters
+    ----------
+    func:
+        Top-level (picklable) callable executing one chunk of trials.
+    task:
+        Picklable description of the work (scheme, geometry, options).
+    trials:
+        Total number of trials across all chunks.
+    seed:
+        Root seed; each chunk gets an independent spawned child sequence.
+    workers:
+        Process count.  ``0`` or ``1`` runs chunks serially in-process
+        (useful under coverage and on single-core machines); ``None`` uses
+        :func:`default_workers`.
+    chunks:
+        Number of chunks (defaults to the worker count, or 4 when serial so
+        the chunked code path is still exercised).
+
+    Returns
+    -------
+    list
+        One result per chunk, in chunk order.
+    """
+    if workers is None:
+        workers = default_workers()
+    if chunks is None:
+        chunks = workers if workers > 1 else min(4, max(trials, 1))
+    sizes = [s for s in partition_trials(trials, chunks) if s > 0]
+    seeds = spawn_seeds(seed, len(sizes))
+    jobs = [(func, task, size, s) for size, s in zip(sizes, seeds)]
+    if workers <= 1 or len(jobs) <= 1:
+        return [_invoke(job) for job in jobs]
+    ctx = mp.get_context("spawn")
+    with ctx.Pool(processes=min(workers, len(jobs))) as pool:
+        return pool.map(_invoke, jobs)

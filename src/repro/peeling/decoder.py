@@ -1,0 +1,102 @@
+"""Queue-based peeling decoder (2-core computation).
+
+Peeling repeatedly finds a vertex of degree 1, "recovers" its unique
+incident edge, and removes that edge (decrementing the degrees of its other
+vertices) — the decoding procedure of erasure codes and invertible Bloom
+lookup tables.  Peeling succeeds when every edge is removed, i.e. the
+hypergraph's 2-core is empty.
+
+The implementation is the standard O(m·d) IBLT trick: per vertex keep a
+degree counter and the XOR of incident edge ids; a degree-1 vertex's XOR
+*is* its remaining edge, so no adjacency lists are needed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.peeling.hypergraph import Hypergraph
+
+__all__ = ["PeelResult", "peel"]
+
+
+@dataclass(frozen=True)
+class PeelResult:
+    """Outcome of peeling a hypergraph.
+
+    Attributes
+    ----------
+    success:
+        True when every edge was peeled (empty 2-core).
+    peeled_order:
+        Edge ids in the order they were recovered.
+    core_edges:
+        Ids of edges left in the 2-core (empty on success).
+    rounds:
+        Number of synchronous peeling rounds (parallel-depth of the
+        process; grows like O(log n) below threshold).
+    """
+
+    success: bool
+    peeled_order: np.ndarray
+    core_edges: np.ndarray
+    rounds: int
+
+    @property
+    def core_fraction(self) -> float:
+        """Fraction of edges stuck in the core."""
+        total = len(self.peeled_order) + len(self.core_edges)
+        return len(self.core_edges) / total if total else 0.0
+
+
+def peel(graph: Hypergraph) -> PeelResult:
+    """Peel ``graph`` to its 2-core.
+
+    Edges with repeated vertices contribute their multiplicity to that
+    vertex's degree (an edge incident to a vertex twice can never be
+    recovered through it once the degree logic is multiplicity-aware;
+    XOR-ing the edge id twice cancels, which handles this correctly).
+    """
+    n, m = graph.n_vertices, graph.n_edges
+    degree = np.zeros(n, dtype=np.int64)
+    edge_xor = np.zeros(n, dtype=np.int64)
+    for e in range(m):
+        for v in graph.edges[e]:
+            degree[v] += 1
+            edge_xor[v] ^= e + 1  # shift ids so id 0 is XOR-distinguishable
+
+    alive = np.ones(m, dtype=bool)
+    peeled: list[int] = []
+    # Synchronous rounds: process the current frontier entirely before
+    # counting the next round (gives the parallel peeling depth).
+    frontier = deque(int(v) for v in np.flatnonzero(degree == 1))
+    rounds = 0
+    while frontier:
+        rounds += 1
+        next_frontier: deque[int] = deque()
+        while frontier:
+            v = frontier.popleft()
+            if degree[v] != 1:
+                continue  # stale entry: vertex lost its edge meanwhile
+            e = edge_xor[v] - 1
+            if e < 0 or not alive[e]:  # pragma: no cover - defensive
+                continue
+            alive[e] = False
+            peeled.append(int(e))
+            for u in graph.edges[e]:
+                degree[u] -= 1
+                edge_xor[u] ^= e + 1
+                if degree[u] == 1:
+                    next_frontier.append(int(u))
+        frontier = next_frontier
+
+    core = np.flatnonzero(alive)
+    return PeelResult(
+        success=core.size == 0,
+        peeled_order=np.array(peeled, dtype=np.int64),
+        core_edges=core,
+        rounds=rounds,
+    )

@@ -1,0 +1,77 @@
+"""Random d-uniform hypergraph construction from choice schemes.
+
+A hypergraph here is just an ``(m, d)`` integer array: row ``e`` lists the
+``d`` vertices of hyperedge ``e``.  Construction reuses the library's
+:class:`~repro.hashing.base.ChoiceScheme` objects, so "fully random
+hypergraph" vs "double-hashed hypergraph" is the same one-argument switch
+as everywhere else — which is the entire point of the comparison in the
+paper's follow-up [30].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing.base import ChoiceScheme
+from repro.rng import default_generator
+
+__all__ = ["Hypergraph", "build_hypergraph"]
+
+
+@dataclass(frozen=True)
+class Hypergraph:
+    """A d-uniform hypergraph.
+
+    Attributes
+    ----------
+    n_vertices:
+        Vertex count.
+    edges:
+        ``(m, d)`` array; row ``e`` holds edge ``e``'s vertices.  Vertices
+        within a row are distinct when the generating scheme guarantees it
+        (double hashing does; with-replacement schemes may repeat).
+    """
+
+    n_vertices: int
+    edges: np.ndarray
+
+    @property
+    def n_edges(self) -> int:
+        return self.edges.shape[0]
+
+    @property
+    def d(self) -> int:
+        return self.edges.shape[1]
+
+    @property
+    def density(self) -> float:
+        """Edges per vertex — the control parameter ``c = m/n``."""
+        return self.n_edges / self.n_vertices
+
+    def vertex_degrees(self) -> np.ndarray:
+        """Degree of every vertex (repeated incidences counted)."""
+        return np.bincount(self.edges.ravel(), minlength=self.n_vertices)
+
+
+def build_hypergraph(
+    scheme: ChoiceScheme,
+    n_edges: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> Hypergraph:
+    """Draw ``n_edges`` hyperedges from ``scheme``.
+
+    ``scheme.n_bins`` is the vertex count and ``scheme.d`` the edge size —
+    an edge is exactly "the d choices of one ball".
+    """
+    if n_edges < 0:
+        raise ConfigurationError(f"n_edges must be non-negative, got {n_edges}")
+    rng = default_generator(seed)
+    if n_edges == 0:
+        edges = np.empty((0, scheme.d), dtype=np.int64)
+    else:
+        edges = scheme.batch(n_edges, rng)
+    return Hypergraph(n_vertices=scheme.n_bins, edges=edges)

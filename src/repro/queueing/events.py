@@ -1,0 +1,67 @@
+"""Support structures for the event-driven queueing simulator.
+
+:class:`IndexedSet` is the classic O(1) add / O(1) remove / O(1)
+uniform-sample dynamic set (dense array + position map), used to track the
+set of busy queues so the departing queue can be drawn uniformly without
+rejection sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["IndexedSet"]
+
+
+class IndexedSet:
+    """A set over ``[0, capacity)`` with O(1) add/remove/uniform-sample.
+
+    Elements are stored densely in ``_items[:size]``; ``_pos[x]`` holds the
+    dense index of ``x`` (or -1).  Removal swaps the last element into the
+    removed slot — order is not preserved, which is fine for uniform
+    sampling.
+    """
+
+    __slots__ = ("_items", "_pos", "_size")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self._items = np.empty(capacity, dtype=np.int64)
+        self._pos = np.full(capacity, -1, dtype=np.int64)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, x: int) -> bool:
+        return self._pos[x] >= 0
+
+    def add(self, x: int) -> None:
+        """Insert ``x``; no-op if already present."""
+        if self._pos[x] >= 0:
+            return
+        self._items[self._size] = x
+        self._pos[x] = self._size
+        self._size += 1
+
+    def remove(self, x: int) -> None:
+        """Remove ``x``; raises KeyError if absent."""
+        p = self._pos[x]
+        if p < 0:
+            raise KeyError(x)
+        last = self._items[self._size - 1]
+        self._items[p] = last
+        self._pos[last] = p
+        self._pos[x] = -1
+        self._size -= 1
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Uniform random element; raises IndexError when empty."""
+        if self._size == 0:
+            raise IndexError("sample from empty IndexedSet")
+        return int(self._items[rng.integers(0, self._size)])
+
+    def to_array(self) -> np.ndarray:
+        """Snapshot of the current members (copy)."""
+        return self._items[: self._size].copy()

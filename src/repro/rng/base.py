@@ -1,0 +1,62 @@
+"""Minimal shared interface for the bespoke bit generators.
+
+The bespoke generators here exist for *fidelity* (drand48 is what the paper
+used) and for *ablation benchmarks* (does the PRNG choice matter? — the paper
+argues it does not, and the ablation bench confirms it).  The hot simulation
+paths use numpy's PCG64 via :mod:`repro.rng.streams`; these pure-Python
+generators are deliberately simple and correct rather than fast.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["BitGenerator64", "MASK64", "MASK32"]
+
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+
+
+class BitGenerator64(abc.ABC):
+    """A generator producing a stream of 64-bit unsigned integers.
+
+    Subclasses implement :meth:`next_u64`; the convenience methods
+    (:meth:`random`, :meth:`integers`) are derived from it and shared.
+    """
+
+    @abc.abstractmethod
+    def next_u64(self) -> int:
+        """Return the next 64-bit output word as a Python int in [0, 2^64)."""
+
+    def random(self) -> float:
+        """Return a float uniform on [0, 1) with 53 bits of precision."""
+        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+
+    def integers(self, low: int, high: int) -> int:
+        """Return a uniform integer in ``[low, high)`` without modulo bias.
+
+        Uses rejection sampling on the top of the 64-bit stream (Lemire-style
+        threshold rejection is unnecessary at Python speed; simple masking
+        rejection is clearer).
+        """
+        if high <= low:
+            raise ValueError(f"empty range [{low}, {high})")
+        span = high - low
+        # Smallest power-of-two mask covering span, then reject overshoot.
+        mask = (1 << span.bit_length()) - 1
+        while True:
+            value = self.next_u64() & mask
+            if value < span:
+                return low + value
+
+    def integers_array(self, low: int, high: int, size: int) -> np.ndarray:
+        """Return ``size`` uniform integers in ``[low, high)`` as an array."""
+        return np.array(
+            [self.integers(low, high) for _ in range(size)], dtype=np.int64
+        )
+
+    def random_array(self, size: int) -> np.ndarray:
+        """Return ``size`` uniform floats in [0, 1) as an array."""
+        return np.array([self.random() for _ in range(size)], dtype=np.float64)

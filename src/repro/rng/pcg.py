@@ -1,0 +1,58 @@
+"""PCG32 (PCG-XSH-RR 64/32) — O'Neill's permuted congruential generator.
+
+A 64-bit LCG state with a 32-bit xorshift-high/random-rotate output
+permutation.  This is the small sibling of numpy's default PCG64; having a
+pure-Python implementation lets the ablation bench include a
+modern-statistical-quality generator without depending on numpy internals.
+"""
+
+from __future__ import annotations
+
+from repro.rng.base import MASK32, MASK64, BitGenerator64
+
+__all__ = ["PCG32"]
+
+_PCG_MULT = 6364136223846793005
+_PCG_DEFAULT_INC = 1442695040888963407
+
+
+class PCG32(BitGenerator64):
+    """PCG-XSH-RR with 64-bit state and 32-bit output.
+
+    Parameters
+    ----------
+    seed:
+        Initial state seed.
+    stream:
+        Stream selector; distinct streams yield statistically independent
+        sequences.  The increment is ``(2 * stream + 1) mod 2^64`` per the
+        reference implementation.
+    """
+
+    def __init__(self, seed: int = 0, stream: int = 0) -> None:
+        self._inc = ((stream << 1) | 1) & MASK64 if stream else _PCG_DEFAULT_INC
+        self._state = 0
+        self._step()
+        self._state = (self._state + (seed & MASK64)) & MASK64
+        self._step()
+
+    @property
+    def state(self) -> int:
+        """The raw 64-bit LCG state (mainly for tests)."""
+        return self._state
+
+    def _step(self) -> None:
+        self._state = (self._state * _PCG_MULT + self._inc) & MASK64
+
+    def next_u32(self) -> int:
+        """One 32-bit output word."""
+        old = self._state
+        self._step()
+        xorshifted = (((old >> 18) ^ old) >> 27) & MASK32
+        rot = old >> 59
+        return ((xorshifted >> rot) | (xorshifted << ((-rot) & 31))) & MASK32
+
+    def next_u64(self) -> int:
+        hi = self.next_u32()
+        lo = self.next_u32()
+        return (hi << 32) | lo

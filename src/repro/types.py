@@ -1,0 +1,210 @@
+"""Shared result dataclasses used across the :mod:`repro` library.
+
+The simulation engines return :class:`LoadDistribution` objects (aggregated
+across trials) rather than raw per-trial arrays, so that experiment code and
+tests speak one vocabulary: *fraction of bins with load exactly i*, *fraction
+with load at least i*, *maximum load*, and per-level sample statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "LoadDistribution",
+    "LevelStats",
+    "TrialBatchResult",
+    "QueueingResult",
+]
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Per-load-level sample statistics across trials (paper Table 5 format).
+
+    Attributes
+    ----------
+    load:
+        The load level these statistics describe.
+    minimum, maximum:
+        Extremes of the *count of bins at this load* across trials.
+    mean:
+        Mean count of bins at this load across trials.
+    std:
+        Sample standard deviation (ddof=1) of the count across trials.
+    """
+
+    load: int
+    minimum: int
+    maximum: int
+    mean: float
+    std: float
+
+
+@dataclass(frozen=True)
+class LoadDistribution:
+    """Aggregated bin-load distribution over one or more trials.
+
+    Attributes
+    ----------
+    n_bins:
+        Number of bins per trial.
+    n_balls:
+        Number of balls thrown per trial.
+    trials:
+        Number of independent trials aggregated.
+    counts:
+        ``counts[i]`` is the total number of bins (summed over all trials)
+        that ended with load exactly ``i``.  ``counts.sum() == trials * n_bins``.
+    max_load_per_trial:
+        Integer array of length ``trials`` with each trial's maximum load.
+    """
+
+    n_bins: int
+    n_balls: int
+    trials: int
+    counts: np.ndarray
+    max_load_per_trial: np.ndarray
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts, dtype=np.int64)
+        object.__setattr__(self, "counts", counts)
+        object.__setattr__(
+            self,
+            "max_load_per_trial",
+            np.asarray(self.max_load_per_trial, dtype=np.int64),
+        )
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def fractions(self) -> np.ndarray:
+        """Fraction of bins with load exactly ``i`` (averaged over trials)."""
+        return self.counts / float(self.trials * self.n_bins)
+
+    @property
+    def tail_fractions(self) -> np.ndarray:
+        """Fraction of bins with load **at least** ``i``.
+
+        Index 0 is always 1.0; this matches the ``x_i`` variables of the
+        paper's fluid-limit analysis (Section 3).
+        """
+        frac = self.fractions
+        return np.cumsum(frac[::-1])[::-1]
+
+    @property
+    def max_load(self) -> int:
+        """Largest load observed in any trial."""
+        return int(self.max_load_per_trial.max())
+
+    def fraction_at(self, load: int) -> float:
+        """Fraction of bins with load exactly ``load`` (0.0 if beyond range)."""
+        if load < 0:
+            raise ValueError(f"load must be non-negative, got {load}")
+        if load >= len(self.counts):
+            return 0.0
+        return float(self.counts[load]) / float(self.trials * self.n_bins)
+
+    def tail_at(self, load: int) -> float:
+        """Fraction of bins with load at least ``load``."""
+        if load < 0:
+            raise ValueError(f"load must be non-negative, got {load}")
+        if load >= len(self.counts):
+            return 0.0
+        return float(self.counts[load:].sum()) / float(self.trials * self.n_bins)
+
+    def fraction_trials_max_load(self, load: int) -> float:
+        """Fraction of trials whose maximum load equals ``load`` (Table 4)."""
+        return float(np.mean(self.max_load_per_trial == load))
+
+    def merged_with(self, other: "LoadDistribution") -> "LoadDistribution":
+        """Combine two aggregates over the same (n_bins, n_balls) geometry."""
+        if (self.n_bins, self.n_balls) != (other.n_bins, other.n_balls):
+            raise ValueError(
+                "cannot merge distributions with different geometry: "
+                f"({self.n_bins}, {self.n_balls}) vs "
+                f"({other.n_bins}, {other.n_balls})"
+            )
+        width = max(len(self.counts), len(other.counts))
+        counts = np.zeros(width, dtype=np.int64)
+        counts[: len(self.counts)] += self.counts
+        counts[: len(other.counts)] += other.counts
+        return LoadDistribution(
+            n_bins=self.n_bins,
+            n_balls=self.n_balls,
+            trials=self.trials + other.trials,
+            counts=counts,
+            max_load_per_trial=np.concatenate(
+                [self.max_load_per_trial, other.max_load_per_trial]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class TrialBatchResult:
+    """Raw per-trial output of the vectorized engine.
+
+    Attributes
+    ----------
+    loads:
+        ``(trials, n_bins)`` integer array of final bin loads.
+    """
+
+    n_bins: int
+    n_balls: int
+    loads: np.ndarray = field(repr=False)
+
+    def distribution(self) -> LoadDistribution:
+        """Aggregate the raw loads into a :class:`LoadDistribution`."""
+        loads = self.loads
+        max_load = int(loads.max(initial=0))
+        counts = np.bincount(loads.ravel(), minlength=max_load + 1)
+        return LoadDistribution(
+            n_bins=self.n_bins,
+            n_balls=self.n_balls,
+            trials=loads.shape[0],
+            counts=counts.astype(np.int64),
+            max_load_per_trial=loads.max(axis=1),
+        )
+
+    def level_stats(self, load: int) -> LevelStats:
+        """Sample statistics for the per-trial count of bins at ``load``."""
+        per_trial = (self.loads == load).sum(axis=1)
+        std = float(per_trial.std(ddof=1)) if len(per_trial) > 1 else 0.0
+        return LevelStats(
+            load=load,
+            minimum=int(per_trial.min()),
+            maximum=int(per_trial.max()),
+            mean=float(per_trial.mean()),
+            std=std,
+        )
+
+
+@dataclass(frozen=True)
+class QueueingResult:
+    """Output of a supermarket-model simulation run.
+
+    Attributes
+    ----------
+    mean_sojourn_time:
+        Average time in system (waiting + service) over all departures after
+        burn-in; the quantity reported in the paper's Table 8.
+    completed_jobs:
+        Number of departures contributing to the mean.
+    mean_queue_length:
+        Time-average number of jobs per queue (after burn-in).
+    sim_time:
+        Total simulated time, including burn-in.
+    """
+
+    mean_sojourn_time: float
+    completed_jobs: int
+    mean_queue_length: float
+    sim_time: float
+    tail_fractions: np.ndarray | None = None
+    """Optional time-averaged fraction of queues with at least ``i`` jobs
+    (index 0 is 1.0) — comparable to the fluid equilibrium
+    ``π_i = λ^((d^i−1)/(d−1))``.  Populated when the simulator is asked to
+    track queue lengths."""

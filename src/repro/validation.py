@@ -1,0 +1,173 @@
+"""Built-in self-validation: quick checks of every paper anchor.
+
+``python -m repro validate`` runs this suite — a few seconds of
+computation checking that the installed library reproduces the paper's
+key numbers and qualitative claims at reduced scale.  It is the
+"is this installation sane" entry point for downstream users, complementing
+(not replacing) the pytest suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+__all__ = ["Check", "run_validation", "VALIDATION_CHECKS"]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One validation check: a name, a thunk, and its claim."""
+
+    name: str
+    claim: str
+    run: Callable[[], tuple[bool, str]]
+
+
+def _check_fluid_table2() -> tuple[bool, str]:
+    from repro.fluid import solve_balls_bins
+
+    fl = solve_balls_bins(3, 1.0)
+    got = (fl.tail_at(1), fl.tail_at(2), fl.tail_at(3))
+    ok = (
+        abs(got[0] - 0.8231) < 2e-4
+        and abs(got[1] - 0.1765) < 2e-4
+        and abs(got[2] - 0.00051) < 1e-5
+    )
+    return ok, f"tails = {got[0]:.4f}/{got[1]:.4f}/{got[2]:.5f}"
+
+
+def _check_table8_equilibrium() -> tuple[bool, str]:
+    from repro.fluid import equilibrium_mean_sojourn_time
+
+    got = equilibrium_mean_sojourn_time(0.9, 3)
+    return abs(got - 2.02805) < 2.5e-3, f"E[T](0.9, 3) = {got:.5f}"
+
+
+def _check_indistinguishable() -> tuple[bool, str]:
+    from repro.analysis import compare_distributions
+    from repro.core import simulate_batch
+    from repro.hashing import DoubleHashingChoices, FullyRandomChoices
+
+    n = 2**12
+    a = simulate_batch(FullyRandomChoices(n, 3), n, 40, seed=1).distribution()
+    b = simulate_batch(DoubleHashingChoices(n, 3), n, 40, seed=2).distribution()
+    report = compare_distributions(a, b)
+    return (
+        report.indistinguishable,
+        f"chi-square p = {report.p_value:.3f}, "
+        f"TV = {report.tv_distance:.5f}",
+    )
+
+
+def _check_majorization() -> tuple[bool, str]:
+    from repro.analysis import coupled_majorization_run
+
+    trace = coupled_majorization_run(256, 512, 4, seed=3)
+    return trace.holds, (
+        f"max_x = {trace.final_max_x}, max_y = {trace.final_max_y}"
+    )
+
+
+def _check_dleft_fluid() -> tuple[bool, str]:
+    from repro.fluid import solve_dleft
+
+    fl = solve_dleft(4, 1.0)
+    got = fl.fraction_at(1)
+    return abs(got - 0.75159) < 1e-4, f"fraction(load 1) = {got:.5f}"
+
+
+def _check_witness_bound() -> tuple[bool, str]:
+    from repro.analysis import witness_tree_bound
+    from repro.core import simulate_batch
+    from repro.hashing import DoubleHashingChoices
+
+    n = 2**12
+    batch = simulate_batch(DoubleHashingChoices(n, 3), n, 10, seed=4)
+    observed = int(batch.loads.max())
+    bound = witness_tree_bound(n, 3).max_load_bound
+    return observed <= bound, f"max load {observed} <= bound {bound}"
+
+
+def _check_peeling_threshold() -> tuple[bool, str]:
+    from repro.peeling import peeling_threshold
+
+    got = peeling_threshold(3)
+    return abs(got - 0.81847) < 1e-4, f"c*(3) = {got:.5f}"
+
+
+def _check_queueing_sim() -> tuple[bool, str]:
+    from repro.fluid import equilibrium_mean_sojourn_time
+    from repro.hashing import DoubleHashingChoices
+    from repro.queueing import simulate_supermarket
+
+    result = simulate_supermarket(
+        DoubleHashingChoices(256, 3), 0.9, 200.0, burn_in=40.0, seed=5
+    )
+    expected = equilibrium_mean_sojourn_time(0.9, 3)
+    gap = abs(result.mean_sojourn_time - expected) / expected
+    return gap < 0.1, (
+        f"simulated {result.mean_sojourn_time:.4f} vs fluid {expected:.4f}"
+    )
+
+
+VALIDATION_CHECKS: tuple[Check, ...] = (
+    Check(
+        "fluid-table2",
+        "d=3 fluid tails match paper Table 2 (0.8231/0.1765/0.00051)",
+        _check_fluid_table2,
+    ),
+    Check(
+        "queueing-equilibrium",
+        "supermarket equilibrium matches paper Table 8 (2.028 at 0.9/3)",
+        _check_table8_equilibrium,
+    ),
+    Check(
+        "indistinguishable",
+        "double vs random load laws pass chi-square homogeneity",
+        _check_indistinguishable,
+    ),
+    Check(
+        "majorization",
+        "Theorem 2 coupling invariant holds ball-by-ball",
+        _check_majorization,
+    ),
+    Check(
+        "dleft-fluid",
+        "d-left fluid limit matches paper Table 7 (0.75159 at load 1)",
+        _check_dleft_fluid,
+    ),
+    Check(
+        "witness-bound",
+        "simulated max loads respect the Theorem 4 bound",
+        _check_witness_bound,
+    ),
+    Check(
+        "peeling-threshold",
+        "density evolution reproduces the d=3 peeling threshold 0.81847",
+        _check_peeling_threshold,
+    ),
+    Check(
+        "queueing-simulation",
+        "event-driven queueing lands on the fluid equilibrium",
+        _check_queueing_sim,
+    ),
+)
+
+
+def run_validation(*, verbose: bool = True) -> bool:
+    """Run every check; print a line per check when ``verbose``.
+
+    Returns True when all checks pass.
+    """
+    all_ok = True
+    for check in VALIDATION_CHECKS:
+        ok, detail = check.run()
+        all_ok &= ok
+        if verbose:
+            status = "PASS" if ok else "FAIL"
+            print(f"[{status}] {check.name}: {check.claim}")
+            print(f"       {detail}")
+    if verbose:
+        print("all checks passed" if all_ok else "SOME CHECKS FAILED")
+    return all_ok

@@ -1,0 +1,208 @@
+"""Tests for ancestry lists (Lemmas 6–7) and the dominating branching process.
+
+Scale note: the lemmas are asymptotic in n for *constant* T = (balls)/n.
+The dominating mean is e^{T d(d−1)}, a constant that is enormous relative
+to laptop-size n when T = 1 and d = 3 (e^6 ~ 403).  The tests therefore use
+small T, where the constant is small and the O(log n) / disjointness
+behaviour is visible at n in the thousands — same regime, honest scaling.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import expected_population, simulate_branching_population
+from repro.analysis.ancestry import (
+    ancestry_bins,
+    ancestry_sizes_of_fresh_choices,
+    disjointness_rate,
+    record_history,
+)
+from repro.analysis.branching import empirical_tail_decay
+from repro.errors import ConfigurationError
+from repro.hashing import DoubleHashingChoices
+
+
+class TestRecordHistory:
+    def test_shapes(self):
+        scheme = DoubleHashingChoices(64, 3)
+        h = record_history(scheme, 100, seed=1)
+        assert h.choices.shape == (100, 3)
+        assert h.placements.shape == (100,)
+        assert h.n_balls == 100
+
+    def test_placements_among_choices(self):
+        h = record_history(DoubleHashingChoices(64, 3), 200, seed=2)
+        for j in range(200):
+            assert h.placements[j] in h.choices[j]
+
+    def test_placement_was_least_loaded(self):
+        """Replay: the placed bin's load never exceeds the other choices'."""
+        h = record_history(DoubleHashingChoices(32, 3), 150, seed=3)
+        loads = np.zeros(32, dtype=int)
+        for j in range(150):
+            placed = h.placements[j]
+            candidate_loads = loads[h.choices[j]]
+            assert loads[placed] == candidate_loads.min()
+            loads[placed] += 1
+
+
+class TestAncestryConstruction:
+    def test_untouched_bin_is_singleton(self):
+        """A bin never chosen by any ball has an ancestry of itself only."""
+        scheme = DoubleHashingChoices(512, 2)
+        h = record_history(scheme, 20, seed=4)
+        touched = set(h.choices.ravel().tolist())
+        untouched = next(b for b in range(512) if b not in touched)
+        assert ancestry_bins(h, untouched, 20) == {untouched}
+
+    def test_time_zero_is_singleton(self):
+        h = record_history(DoubleHashingChoices(32, 3), 50, seed=5)
+        assert ancestry_bins(h, 7, 0) == {7}
+
+    def test_contains_direct_choosers(self):
+        """Every co-choice of every ball that picked b is in b's ancestry."""
+        h = record_history(DoubleHashingChoices(64, 3), 80, seed=6)
+        b = int(h.choices[0, 0])
+        anc = ancestry_bins(h, b, 80)
+        for j in range(80):
+            if b in h.choices[j]:
+                for other in h.choices[j]:
+                    assert int(other) in anc
+
+    def test_monotone_in_time(self):
+        h = record_history(DoubleHashingChoices(64, 3), 100, seed=7)
+        b = int(h.choices[50, 0])
+        early = ancestry_bins(h, b, 30)
+        late = ancestry_bins(h, b, 100)
+        assert early <= late
+
+    def test_recursive_closure(self):
+        """Hand-built history: ball 0 chooses (a, b); ball 1 chooses (b, c).
+        Ancestry of c at time 2 must include a via the recursion."""
+        from repro.analysis.ancestry import AllocationHistory
+
+        h = AllocationHistory(
+            n_bins=5,
+            choices=np.array([[0, 1], [1, 2]]),
+            placements=np.array([0, 2]),
+        )
+        anc = ancestry_bins(h, 2, 2)
+        assert anc == {0, 1, 2}
+
+    def test_recursion_respects_time_bound(self):
+        """Ball at time 1 choosing (b, c): balls choosing c *after* time 1
+        do not enter b's recursion through that path."""
+        from repro.analysis.ancestry import AllocationHistory
+
+        h = AllocationHistory(
+            n_bins=6,
+            choices=np.array([[1, 2], [3, 4], [2, 5]]),
+            placements=np.array([1, 3, 5]),
+        )
+        # Ancestry of 1 at time 3: ball0 (1,2) contributes 2 with bound 0;
+        # ball2 (2,5) at time 2 must NOT be followed from that state.
+        anc = ancestry_bins(h, 1, 3)
+        assert 5 not in anc
+        assert anc == {1, 2}
+
+    def test_max_bins_guard(self):
+        h = record_history(DoubleHashingChoices(64, 3), 200, seed=8)
+        with pytest.raises(RuntimeError):
+            ancestry_bins(h, int(h.choices[0, 0]), 200, max_bins=1)
+
+    def test_invalid_bin_rejected(self):
+        h = record_history(DoubleHashingChoices(16, 2), 10, seed=9)
+        with pytest.raises(ConfigurationError):
+            ancestry_bins(h, 99, 10)
+
+
+class TestLemma6Sizes:
+    def test_sizes_stay_logarithmic_at_small_t(self):
+        """T = 0.15: dominating mean e^{0.15*6} ~ 2.5; lists should be tiny
+        relative to n and grow (at most) logarithmically."""
+        sizes_by_n = {}
+        for n in (512, 2048, 8192):
+            scheme = DoubleHashingChoices(n, 3)
+            h = record_history(scheme, int(0.15 * n), seed=n)
+            rng = np.random.default_rng(n + 1)
+            fresh = scheme.single(rng)
+            sizes = ancestry_sizes_of_fresh_choices(h, fresh)
+            sizes_by_n[n] = max(sizes)
+        for n, biggest in sizes_by_n.items():
+            assert biggest <= 8 * math.log(n), (n, biggest)
+
+    def test_sizes_grow_with_t(self):
+        n = 2048
+        scheme = DoubleHashingChoices(n, 3)
+        rng = np.random.default_rng(0)
+        fresh = scheme.single(rng)
+        short = record_history(scheme, n // 10, seed=1)
+        long = record_history(scheme, n, seed=1)
+        s_short = sum(ancestry_sizes_of_fresh_choices(short, fresh))
+        s_long = sum(ancestry_sizes_of_fresh_choices(long, fresh))
+        assert s_long > s_short
+
+
+class TestLemma7Disjointness:
+    def test_disjointness_improves_with_n(self):
+        """Lemma 7: non-disjointness is O(d^2 log^2 n / n) -> rate to 1."""
+        rates = []
+        for n in (256, 4096):
+            scheme = DoubleHashingChoices(n, 3)
+            h = record_history(scheme, int(0.15 * n), seed=n)
+            rates.append(disjointness_rate(h, scheme, 60, seed=n + 1))
+        assert rates[1] >= rates[0]
+        assert rates[1] > 0.9
+
+    def test_empty_samples_nan(self):
+        scheme = DoubleHashingChoices(64, 2)
+        h = record_history(scheme, 10, seed=1)
+        assert math.isnan(disjointness_rate(h, scheme, 0, seed=2))
+
+
+class TestBranchingProcess:
+    def test_mean_matches_theory(self):
+        """Simulated with d' = d, the discrete process mean approaches
+        (1 + d(d-1)/n)^{Tn} ~ e^{T d(d-1)}."""
+        pops = simulate_branching_population(
+            4096, 3, 0.5, trials=800, seed=1, d_prime=3
+        )
+        expected = expected_population(3, 0.5)  # e^3 ~ 20.1
+        assert pops.mean() == pytest.approx(expected, rel=0.2)
+
+    def test_dominating_process_larger(self):
+        """d' = d + 1 (the paper's domination) inflates the mean."""
+        base = simulate_branching_population(
+            2048, 3, 0.4, trials=400, seed=2, d_prime=3
+        ).mean()
+        dominating = simulate_branching_population(
+            2048, 3, 0.4, trials=400, seed=2
+        ).mean()
+        assert dominating > base
+
+    def test_karp_zhang_exponential_tail(self):
+        pops = simulate_branching_population(
+            2048, 3, 0.4, trials=2000, seed=3, d_prime=3
+        )
+        mean = expected_population(3, 0.4)
+        tails = empirical_tail_decay(pops, mean, np.array([1.0, 2.0, 4.0, 8.0]))
+        assert tails[0] > tails[1] > tails[2] > tails[3]
+        assert tails[3] < 0.01
+
+    def test_population_at_least_one(self):
+        pops = simulate_branching_population(512, 3, 0.2, trials=100, seed=4)
+        assert (pops >= 1).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_branching_population(0, 3, 1.0, 10)
+        with pytest.raises(ConfigurationError):
+            simulate_branching_population(64, 1, 1.0, 10)
+        with pytest.raises(ConfigurationError):
+            simulate_branching_population(64, 3, 1.0, 0)
+        with pytest.raises(ConfigurationError):
+            expected_population(1, 1.0)

@@ -1,0 +1,144 @@
+"""Tests for the witness-tree and layered-induction bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    layered_induction_bound,
+    leaf_activation_bound,
+    pair_collision_bound,
+    witness_tree_bound,
+)
+from repro.analysis.layered_induction import beta_trajectory
+from repro.analysis.witness_tree import empirical_max_load_check
+from repro.core import simulate_batch
+from repro.errors import ConfigurationError
+from repro.hashing import DoubleHashingChoices
+
+
+class TestWitnessTreeIngredients:
+    def test_leaf_activation_below_one_third_for_d_ge_3(self):
+        """The paper needs this probability < 1/3 for d >= 3."""
+        for d in range(3, 10):
+            assert leaf_activation_bound(d) < 1 / 3
+
+    def test_leaf_activation_decreasing_in_d(self):
+        values = [leaf_activation_bound(d) for d in range(3, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_leaf_activation_below_e_over_4_power(self):
+        """d^{4d}/(4d)! < (e/4)^d — the paper's chain of inequalities."""
+        for d in range(3, 8):
+            assert leaf_activation_bound(d) < (math.e / 4) ** d
+
+    def test_pair_collision_scales_inverse_n(self):
+        a = pair_collision_bound(10**4, 3)
+        b = pair_collision_bound(10**6, 3)
+        assert a / b == pytest.approx(100, rel=0.02)
+
+    def test_pair_collision_d4_growth(self):
+        """O(d^4/n): doubling d should scale by ~16."""
+        a = pair_collision_bound(10**6, 4)
+        b = pair_collision_bound(10**6, 8)
+        assert b / a == pytest.approx(
+            (8 * 7) ** 2 / (4 * 3) ** 2, rel=0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            leaf_activation_bound(0)
+        with pytest.raises(ConfigurationError):
+            pair_collision_bound(1, 3)
+        with pytest.raises(ConfigurationError):
+            pair_collision_bound(100, 1)
+
+
+class TestWitnessTreeBound:
+    def test_structure(self):
+        bound = witness_tree_bound(2**14, 3)
+        assert bound.max_load_bound == bound.depth + 12
+        assert 0 < bound.failure_probability < 1
+
+    def test_grows_like_log_log(self):
+        small = witness_tree_bound(2**10, 3).max_load_bound
+        large = witness_tree_bound(2**40, 3).max_load_bound
+        # log log growth: quadrupling the exponent adds at most ~2 levels.
+        assert large - small <= 2
+
+    def test_larger_alpha_smaller_failure(self):
+        loose = witness_tree_bound(2**14, 3, alpha=0.5)
+        tight = witness_tree_bound(2**14, 3, alpha=4.0)
+        assert tight.failure_probability <= loose.failure_probability
+        assert tight.max_load_bound >= loose.max_load_bound
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            witness_tree_bound(2, 3)
+        with pytest.raises(ConfigurationError):
+            witness_tree_bound(100, 1)
+        with pytest.raises(ConfigurationError):
+            witness_tree_bound(100, 3, alpha=0)
+
+    def test_empirical_check_on_simulation(self):
+        """Simulated max loads sit far below the Theorem 4 bound."""
+        n = 2**12
+        batch = simulate_batch(DoubleHashingChoices(n, 3), n, 20, seed=1)
+        max_loads = batch.loads.max(axis=1).tolist()
+        assert empirical_max_load_check(max_loads, n, 3)
+        # And indeed far below: the bound has 4d of slack.
+        assert max(max_loads) <= witness_tree_bound(n, 3).max_load_bound - 8
+
+
+class TestLayeredInduction:
+    def test_beta_start_value(self):
+        traj = beta_trajectory(2**14, 3)
+        assert traj.betas[0] == pytest.approx(2**14 / (2 * math.e))
+
+    def test_beta_recursion_step(self):
+        traj = beta_trajectory(2**40, 3)
+        if len(traj.betas) > 1:
+            n = float(2**40)
+            expected = 4.0 * traj.betas[0] ** 3 / n**2
+            assert traj.betas[1] == pytest.approx(expected, rel=1e-12)
+
+    def test_beta_envelope_bound(self):
+        """β_i <= n / e^{d^{i-6}} (the paper's induction)."""
+        n, d = 2**40, 3
+        traj = beta_trajectory(n, d)
+        for level, beta in zip(traj.levels, traj.betas):
+            assert beta <= n / math.exp(d ** (level - 6)) + 1e-6
+
+    def test_envelope_at_accessor(self):
+        traj = beta_trajectory(2**14, 3)
+        assert traj.envelope_at(0) == 2**14
+        assert traj.envelope_at(6) == traj.betas[0]
+        assert traj.envelope_at(99) == traj.betas[-1]
+
+    def test_bound_is_loglog(self):
+        b14 = layered_induction_bound(2**14, 3)
+        b64 = layered_induction_bound(2**64, 3)
+        assert b64 - b14 <= 2
+        assert b14 >= 10  # stop level >= 6, +4 finishing levels
+
+    def test_simulated_loads_below_bound(self):
+        n = 2**12
+        batch = simulate_batch(DoubleHashingChoices(n, 3), n, 20, seed=2)
+        assert batch.loads.max() <= layered_induction_bound(n, 3)
+
+    def test_simulated_level_counts_below_envelope(self):
+        """z_i (bins with load >= i) stays below the β_i envelope."""
+        n = 2**12
+        traj = beta_trajectory(n, 3)
+        batch = simulate_batch(DoubleHashingChoices(n, 3), n, 20, seed=3)
+        for level, beta in zip(traj.levels, traj.betas):
+            z = (batch.loads >= level).sum(axis=1)
+            assert (z <= beta).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            beta_trajectory(8, 3)
+        with pytest.raises(ConfigurationError):
+            beta_trajectory(2**14, 1)

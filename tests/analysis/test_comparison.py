@@ -1,0 +1,132 @@
+"""Tests for statistical indistinguishability tooling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    chi_square_comparison,
+    compare_distributions,
+    total_variation,
+)
+from repro.analysis.comparison import sampling_envelope
+from repro.core import simulate_batch, simulate_one_choice
+from repro.hashing import DoubleHashingChoices, FullyRandomChoices
+from repro.types import LoadDistribution
+
+
+def _dist(counts, trials=10, n_bins=None, n_balls=100) -> LoadDistribution:
+    counts = np.asarray(counts, dtype=np.int64)
+    n_bins = n_bins or int(counts.sum() // trials)
+    return LoadDistribution(
+        n_bins=n_bins,
+        n_balls=n_balls,
+        trials=trials,
+        counts=counts,
+        max_load_per_trial=np.full(trials, len(counts) - 1),
+    )
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        d = _dist([50, 30, 20])
+        assert total_variation(d, d) == 0.0
+
+    def test_disjoint_is_one(self):
+        a = _dist([100, 0])
+        b = _dist([0, 100])
+        assert total_variation(a, b) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        a = _dist([60, 40])
+        b = _dist([40, 60])
+        assert total_variation(a, b) == total_variation(b, a)
+
+    def test_known_value(self):
+        a = _dist([60, 40])
+        b = _dist([40, 60])
+        assert total_variation(a, b) == pytest.approx(0.2)
+
+    def test_width_mismatch_handled(self):
+        a = _dist([100])
+        b = _dist([50, 50])
+        assert total_variation(a, b) == pytest.approx(0.5)
+
+
+class TestChiSquare:
+    def test_identical_high_p(self):
+        d = _dist([5000, 3000, 2000], trials=100)
+        stat, p, dof = chi_square_comparison(d, d)
+        assert p == pytest.approx(1.0)
+        assert stat == pytest.approx(0.0)
+
+    def test_detects_gross_difference(self):
+        a = _dist([8000, 2000], trials=100)
+        b = _dist([2000, 8000], trials=100)
+        _, p, _ = chi_square_comparison(a, b)
+        assert p < 1e-10
+
+    def test_sparse_tail_merged(self):
+        """A 1-count tail cell should be merged, not crash or distort."""
+        a = _dist([5000, 4000, 999, 1], trials=100)
+        b = _dist([5001, 3999, 1000, 0], trials=100)
+        stat, p, dof = chi_square_comparison(a, b)
+        assert p > 0.5
+
+    def test_degenerate_single_cell(self):
+        a = _dist([100])
+        stat, p, dof = chi_square_comparison(a, a)
+        assert p == 1.0
+
+
+class TestSamplingEnvelope:
+    def test_scales_inverse_sqrt_trials(self):
+        a = _dist([500, 500], trials=10)
+        b = _dist([50000, 50000], trials=1000)
+        assert sampling_envelope(a, 0) == pytest.approx(
+            10 * sampling_envelope(b, 0), rel=1e-6
+        )
+
+    def test_zero_fraction_has_tiny_envelope(self):
+        d = _dist([900, 100])
+        assert sampling_envelope(d, 5) < sampling_envelope(d, 1)
+
+
+class TestCompareDistributions:
+    def test_same_scheme_two_seeds_indistinguishable(self):
+        n = 1024
+        a = simulate_batch(FullyRandomChoices(n, 3), n, 50, seed=1).distribution()
+        b = simulate_batch(FullyRandomChoices(n, 3), n, 50, seed=2).distribution()
+        report = compare_distributions(a, b)
+        assert report.indistinguishable
+        assert report.tv_distance < 0.01
+
+    def test_paper_claim_double_vs_random(self):
+        """The headline claim at test scale: double hashing vs fully random
+        is statistically indistinguishable."""
+        n = 2048
+        a = simulate_batch(FullyRandomChoices(n, 3), n, 50, seed=3).distribution()
+        b = simulate_batch(
+            DoubleHashingChoices(n, 3), n, 50, seed=4
+        ).distribution()
+        report = compare_distributions(a, b)
+        assert report.indistinguishable, (
+            f"p={report.p_value}, dev={report.max_deviation_sigmas} sigmas"
+        )
+
+    def test_one_choice_vs_two_choice_distinguishable(self):
+        """Sanity: the test must have power — one-choice is very different."""
+        n = 1024
+        a = simulate_one_choice(n, n, 50, seed=5).distribution()
+        b = simulate_batch(FullyRandomChoices(n, 2), n, 50, seed=6).distribution()
+        report = compare_distributions(a, b)
+        assert not report.indistinguishable
+        assert report.p_value < 1e-10
+
+    def test_report_fields_populated(self):
+        d = _dist([500, 300, 200], trials=10)
+        report = compare_distributions(d, d)
+        assert report.max_deviation == 0.0
+        assert report.max_deviation_sigmas == 0.0
+        assert report.dof >= 1

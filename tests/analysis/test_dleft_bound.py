@@ -1,0 +1,74 @@
+"""Tests for Vöcking's φ_d and the d-left maximum-load coefficient."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    dleft_max_load_bound,
+    phi_d,
+    symmetric_max_load_coefficient,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPhiD:
+    def test_phi_2_is_golden_ratio(self):
+        assert phi_d(2) == pytest.approx((1 + math.sqrt(5)) / 2, abs=1e-10)
+
+    def test_phi_3_known_value(self):
+        # Tribonacci constant.
+        assert phi_d(3) == pytest.approx(1.839286755, abs=1e-8)
+
+    def test_phi_4_known_value(self):
+        # Tetranacci constant.
+        assert phi_d(4) == pytest.approx(1.927561975, abs=1e-8)
+
+    def test_monotone_increasing_to_two(self):
+        values = [phi_d(d) for d in range(2, 12)]
+        assert values == sorted(values)
+        assert values[-1] < 2.0
+        assert phi_d(30) > 1.999999
+
+    def test_root_property(self):
+        for d in (2, 3, 5):
+            x = phi_d(d)
+            assert x**d == pytest.approx(
+                sum(x**j for j in range(d)), rel=1e-10
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            phi_d(1)
+
+
+class TestBounds:
+    def test_dleft_beats_symmetric_constant(self):
+        """d·ln φ_d > ln d — the whole point of asymmetry."""
+        n = 2**20
+        for d in (2, 3, 4, 8):
+            assert dleft_max_load_bound(n, d) < symmetric_max_load_coefficient(
+                n, d
+            )
+
+    def test_d2_improvement_factor(self):
+        """For d = 2 the improvement over symmetric is ~1.39x
+        (2 ln φ / ln 2)."""
+        n = 2**20
+        ratio = symmetric_max_load_coefficient(n, 2) / dleft_max_load_bound(n, 2)
+        assert ratio == pytest.approx(2 * math.log(phi_d(2)) / math.log(2),
+                                      rel=1e-9)
+        assert ratio > 1.38
+
+    def test_loglog_growth(self):
+        small = dleft_max_load_bound(2**10, 3)
+        large = dleft_max_load_bound(2**40, 3)
+        assert large - small < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            dleft_max_load_bound(2, 3)
+        with pytest.raises(ConfigurationError):
+            symmetric_max_load_coefficient(2**10, 1)

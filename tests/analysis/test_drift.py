@@ -1,0 +1,63 @@
+"""Tests for the Lemma 5 drift measurement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.drift import measure_drift
+from repro.errors import ConfigurationError
+from repro.hashing import DoubleHashingChoices, FullyRandomChoices
+
+
+class TestDriftMeasurement:
+    @pytest.mark.parametrize("level", [1, 2])
+    def test_double_hashing_matches_predicted_drift(self, level):
+        """Lemma 5 at finite n: empirical drift within a few standard
+        errors of x_{i-1}^d - x_i^d."""
+        m = measure_drift(
+            DoubleHashingChoices(2**13, 3), level, seed=level,
+        )
+        assert m.gap < 5 * m.standard_error + 0.01, (
+            f"level {level}: emp {m.empirical_rate:.4f} vs "
+            f"pred {m.predicted_rate:.4f}"
+        )
+
+    @pytest.mark.parametrize("level", [1, 2])
+    def test_fully_random_matches_predicted_drift(self, level):
+        m = measure_drift(
+            FullyRandomChoices(2**13, 3), level, seed=10 + level,
+        )
+        assert m.gap < 5 * m.standard_error + 0.01
+
+    def test_gap_shrinks_with_n(self):
+        """The o(1) of Lemma 5: average drift gap decreases as n grows."""
+        gaps = {}
+        for n in (2**8, 2**13):
+            total = 0.0
+            for seed in range(6):
+                m = measure_drift(DoubleHashingChoices(n, 3), 1, seed=seed)
+                total += m.gap
+            gaps[n] = total / 6
+        assert gaps[2**13] < gaps[2**8] + 0.005
+
+    def test_rates_in_unit_interval(self):
+        m = measure_drift(DoubleHashingChoices(512, 3), 1, seed=3)
+        assert 0.0 <= m.empirical_rate <= 1.0
+        assert 0.0 <= m.predicted_rate <= 1.0
+
+    def test_high_level_has_tiny_drift(self):
+        """At level 4 the drift is essentially zero at T ~ 0.75."""
+        m = measure_drift(DoubleHashingChoices(2048, 3), 4, seed=4)
+        assert m.empirical_rate < 0.01
+        assert m.predicted_rate < 0.01
+
+    def test_custom_window(self):
+        m = measure_drift(
+            DoubleHashingChoices(256, 2), 1,
+            warmup_balls=64, window_balls=32, seed=5,
+        )
+        assert m.window_balls == 32
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            measure_drift(FullyRandomChoices(64, 2), 0)

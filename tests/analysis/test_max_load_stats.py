@@ -1,0 +1,97 @@
+"""Tests for max-load distribution statistics (Table 4's comparison)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.max_load_stats import (
+    compare_max_loads,
+    max_load_fraction_ci,
+)
+from repro.core import simulate_batch, simulate_one_choice
+from repro.hashing import DoubleHashingChoices, FullyRandomChoices
+from repro.types import LoadDistribution
+
+
+def _dist_with_max_loads(max_loads) -> LoadDistribution:
+    max_loads = np.asarray(max_loads)
+    return LoadDistribution(
+        n_bins=10,
+        n_balls=10,
+        trials=len(max_loads),
+        counts=np.array([len(max_loads) * 10]),
+        max_load_per_trial=max_loads,
+    )
+
+
+class TestWilsonCI:
+    def test_brackets_fraction(self):
+        d = _dist_with_max_loads([2] * 30 + [3] * 70)
+        p, low, high = max_load_fraction_ci(d, 3)
+        assert p == pytest.approx(0.7)
+        assert low < 0.7 < high
+
+    def test_extreme_fractions_stay_in_unit_interval(self):
+        d = _dist_with_max_loads([3] * 50)
+        p, low, high = max_load_fraction_ci(d, 3)
+        assert p == 1.0
+        assert 0.0 <= low <= high <= 1.0
+        p0, low0, high0 = max_load_fraction_ci(d, 2)
+        assert p0 == 0.0 and low0 == 0.0
+
+    def test_wider_at_smaller_samples(self):
+        small = _dist_with_max_loads([2] * 5 + [3] * 5)
+        large = _dist_with_max_loads([2] * 500 + [3] * 500)
+        _, lo_s, hi_s = max_load_fraction_ci(small, 3)
+        _, lo_l, hi_l = max_load_fraction_ci(large, 3)
+        assert (hi_s - lo_s) > (hi_l - lo_l)
+
+
+class TestCompareMaxLoads:
+    def test_identical_samples_indistinguishable(self):
+        d = _dist_with_max_loads([2] * 40 + [3] * 60)
+        report = compare_max_loads(d, d)
+        assert report.indistinguishable
+        assert report.p_value == pytest.approx(1.0)
+
+    def test_detects_gross_difference(self):
+        a = _dist_with_max_loads([2] * 90 + [3] * 10)
+        b = _dist_with_max_loads([2] * 10 + [3] * 90)
+        report = compare_max_loads(a, b)
+        assert not report.indistinguishable
+
+    def test_fisher_path_for_small_2x2(self):
+        a = _dist_with_max_loads([2] * 3 + [3] * 4)
+        b = _dist_with_max_loads([2] * 4 + [3] * 3)
+        report = compare_max_loads(a, b)
+        assert report.indistinguishable  # tiny samples: no evidence
+
+    def test_degenerate_single_value(self):
+        a = _dist_with_max_loads([3] * 20)
+        report = compare_max_loads(a, a)
+        assert report.p_value == 1.0
+
+    def test_counts_reported(self):
+        a = _dist_with_max_loads([2, 2, 3])
+        b = _dist_with_max_loads([3, 3, 4])
+        report = compare_max_loads(a, b)
+        assert report.table_values == (2, 3, 4)
+        assert report.counts_a == (2, 1, 0)
+        assert report.counts_b == (0, 2, 1)
+
+    def test_paper_claim_on_simulated_max_loads(self):
+        """Table 4's message: the two schemes' max-load distributions are
+        statistically indistinguishable."""
+        n = 2**12
+        a = simulate_batch(FullyRandomChoices(n, 3), n, 80, seed=1).distribution()
+        b = simulate_batch(
+            DoubleHashingChoices(n, 3), n, 80, seed=2
+        ).distribution()
+        assert compare_max_loads(a, b).indistinguishable
+
+    def test_power_check_one_vs_two_choice(self):
+        n = 2**10
+        a = simulate_one_choice(n, n, 80, seed=3).distribution()
+        b = simulate_batch(FullyRandomChoices(n, 2), n, 80, seed=4).distribution()
+        assert not compare_max_loads(a, b).indistinguishable

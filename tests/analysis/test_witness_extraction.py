@@ -1,0 +1,111 @@
+"""Tests for witness-tree extraction from recorded histories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ancestry import AllocationHistory, record_history
+from repro.analysis.witness_extraction import extract_witness_tree
+from repro.errors import ConfigurationError, SimulationError
+from repro.hashing import DoubleHashingChoices, FullyRandomChoices
+
+
+@pytest.fixture(scope="module")
+def history():
+    return record_history(DoubleHashingChoices(256, 3), 256, seed=11)
+
+
+class TestExtraction:
+    def test_depth_matches_target(self, history):
+        tree = extract_witness_tree(history)
+        max_load = int(
+            np.bincount(history.placements, minlength=256).max()
+        )
+        assert tree.depth == max_load - 1
+        assert tree.root.level == max_load
+
+    def test_dary_fanout(self, history):
+        tree = extract_witness_tree(history)
+        for node in tree.root.iter_nodes():
+            assert len(node.children) in (0, 3)
+            if node.level > 1:
+                assert len(node.children) == 3
+
+    def test_children_precede_parents(self, history):
+        tree = extract_witness_tree(history)
+        for node in tree.root.iter_nodes():
+            for child in node.children:
+                assert child.ball < node.ball
+                assert child.level == node.level - 1
+
+    def test_node_count_for_full_dary(self, history):
+        """With base 1, the tree is a complete d-ary tree of its depth
+        (every internal node has exactly d children)."""
+        tree = extract_witness_tree(history)
+        d = 3
+        expected = sum(d**k for k in range(tree.depth + 1))
+        assert tree.n_nodes == expected
+
+    def test_child_bins_are_parent_choices(self, history):
+        tree = extract_witness_tree(history)
+        for node in tree.root.iter_nodes():
+            if node.children:
+                child_bins = sorted(c.bin for c in node.children)
+                assert child_bins == sorted(
+                    int(x) for x in history.choices[node.ball]
+                )
+
+    def test_base_load_truncates(self, history):
+        full = extract_witness_tree(history, base_load=1)
+        if full.root.level >= 2:
+            shallow = extract_witness_tree(history, base_load=2)
+            assert shallow.depth == full.depth - 1
+            assert shallow.n_nodes < full.n_nodes
+
+    def test_every_engine_history_extracts(self):
+        """Extraction succeeding is a proof the engine always placed balls
+        least-loaded — run it over several fresh histories and schemes."""
+        for seed in range(4):
+            for scheme in (
+                DoubleHashingChoices(128, 3),
+                FullyRandomChoices(128, 4),
+            ):
+                h = record_history(scheme, 128, seed=seed)
+                tree = extract_witness_tree(h)
+                assert tree.n_nodes >= 1
+
+    def test_repeated_balls_counted(self, history):
+        tree = extract_witness_tree(history)
+        assert 1 <= tree.n_distinct_balls <= tree.n_nodes
+
+
+class TestValidation:
+    def test_bad_bin(self, history):
+        with pytest.raises(ConfigurationError):
+            extract_witness_tree(history, bin_id=9999)
+
+    def test_target_above_final_load(self, history):
+        with pytest.raises(ConfigurationError):
+            extract_witness_tree(history, target_load=50)
+
+    def test_base_below_one(self, history):
+        with pytest.raises(ConfigurationError):
+            extract_witness_tree(history, base_load=0)
+
+    def test_target_below_base(self, history):
+        with pytest.raises(ConfigurationError):
+            extract_witness_tree(history, target_load=1, base_load=2)
+
+    def test_inconsistent_history_detected(self):
+        """A hand-forged history violating least-loaded placement makes a
+        required witness ball missing, which extraction must flag."""
+        # Ball 0 and 1 both placed in bin 0 although bin 1 was empty —
+        # ball 1's placement was not least-loaded.
+        forged = AllocationHistory(
+            n_bins=3,
+            choices=np.array([[0, 1], [0, 1]]),
+            placements=np.array([0, 0]),
+        )
+        with pytest.raises(SimulationError):
+            extract_witness_tree(forged, bin_id=0, target_load=2)

@@ -1,0 +1,18 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def rng2() -> np.random.Generator:
+    """A second independent deterministic generator."""
+    return np.random.default_rng(0xDECAF)

@@ -1,0 +1,116 @@
+"""Tests for load-trajectory recording and its agreement with the ODE path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import simulate_trajectory
+from repro.errors import ConfigurationError
+from repro.fluid.balls_bins_ode import balls_bins_rhs
+from repro.fluid.solver import integrate
+from repro.hashing import DoubleHashingChoices, FullyRandomChoices
+
+
+class TestMechanics:
+    def test_shapes(self):
+        traj = simulate_trajectory(
+            FullyRandomChoices(256, 3), 1.0, trials=10, checkpoints=5, seed=1
+        )
+        assert traj.times.shape == (5,)
+        assert traj.tails.shape == (5, 9)
+        assert traj.trials == 10
+
+    def test_level0_is_one(self):
+        traj = simulate_trajectory(
+            FullyRandomChoices(128, 2), 0.5, trials=5, seed=2
+        )
+        assert np.allclose(traj.tail_series(0), 1.0)
+
+    def test_tails_monotone_in_level(self):
+        traj = simulate_trajectory(
+            FullyRandomChoices(128, 3), 1.0, trials=10, seed=3
+        )
+        assert (np.diff(traj.tails, axis=1) <= 1e-12).all()
+
+    def test_tails_monotone_in_time(self):
+        """Tail fractions only grow as balls arrive (no deletions)."""
+        traj = simulate_trajectory(
+            DoubleHashingChoices(256, 3), 1.0, trials=10, seed=4
+        )
+        assert (np.diff(traj.tails, axis=0) >= -1e-12).all()
+
+    def test_final_time_is_t_final(self):
+        traj = simulate_trajectory(
+            FullyRandomChoices(64, 2), 2.0, trials=3, seed=5
+        )
+        assert traj.times[-1] == pytest.approx(2.0)
+
+    def test_max_load_series_monotone(self):
+        traj = simulate_trajectory(
+            FullyRandomChoices(256, 3), 1.0, trials=10, checkpoints=6, seed=7
+        )
+        assert traj.max_loads is not None
+        assert (np.diff(traj.max_loads) >= -1e-12).all()
+        assert traj.max_loads[-1] >= 1.0
+
+    def test_max_load_growth_decelerates(self):
+        """The log log n phenomenon in time: the second half of the
+        process adds no more to the max load than the first half did."""
+        traj = simulate_trajectory(
+            DoubleHashingChoices(2048, 3), 1.0, trials=20,
+            checkpoints=8, seed=8,
+        )
+        half = len(traj.max_loads) // 2
+        first_half = traj.max_loads[half] - traj.max_loads[0]
+        second_half = traj.max_loads[-1] - traj.max_loads[half]
+        assert second_half <= first_half + 0.5
+
+    def test_level_out_of_range(self):
+        traj = simulate_trajectory(
+            FullyRandomChoices(64, 2), 0.5, trials=3, seed=6
+        )
+        with pytest.raises(ValueError):
+            traj.tail_series(99)
+
+    def test_validation(self):
+        scheme = FullyRandomChoices(32, 2)
+        with pytest.raises(ConfigurationError):
+            simulate_trajectory(scheme, 0.0, 3)
+        with pytest.raises(ConfigurationError):
+            simulate_trajectory(scheme, 1.0, 0)
+        with pytest.raises(ConfigurationError):
+            simulate_trajectory(scheme, 1.0, 3, checkpoints=0)
+
+
+class TestTheorem8PathAgreement:
+    """The whole simulated path follows the ODE path (Theorem 8), for both
+    schemes — the strongest fluid-limit test in the suite."""
+
+    @pytest.mark.parametrize(
+        "scheme_cls", [FullyRandomChoices, DoubleHashingChoices]
+    )
+    def test_path_matches_dense_ode(self, scheme_cls):
+        n, d = 4096, 3
+        traj = simulate_trajectory(
+            scheme_cls(n, d), 1.0, trials=40, checkpoints=8, seed=7
+        )
+        sol = integrate(
+            lambda t, x: balls_bins_rhs(t, x, d), np.zeros(8), 1.0
+        )
+        for k, t in enumerate(traj.times):
+            ode_tails = np.concatenate(([1.0], sol.sol(t)))
+            for level in (1, 2):
+                assert traj.tails[k, level] == pytest.approx(
+                    ode_tails[level], abs=0.01
+                ), f"t={t}, level={level}"
+
+    def test_double_and_random_paths_agree(self):
+        n, d = 2048, 3
+        a = simulate_trajectory(
+            FullyRandomChoices(n, d), 1.0, trials=30, checkpoints=6, seed=8
+        )
+        b = simulate_trajectory(
+            DoubleHashingChoices(n, d), 1.0, trials=30, checkpoints=6, seed=9
+        )
+        assert np.allclose(a.tails[:, 1:3], b.tails[:, 1:3], atol=0.012)

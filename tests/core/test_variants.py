@@ -1,0 +1,150 @@
+"""Tests for the d-left, one-choice, and (1+beta) engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    simulate_batch,
+    simulate_dleft,
+    simulate_one_choice,
+    simulate_one_plus_beta,
+)
+from repro.core.dleft import make_dleft_scheme
+from repro.errors import ConfigurationError
+from repro.hashing import DoubleHashingChoices, FullyRandomChoices
+
+
+class TestDLeft:
+    def test_requires_partitioned_scheme(self):
+        with pytest.raises(ConfigurationError, match="partitioned"):
+            simulate_dleft(FullyRandomChoices(16, 4), 16, 2)
+
+    def test_make_scheme_kinds(self):
+        assert make_dleft_scheme(16, 4, "random").describe().startswith("d-left")
+        assert "double" in make_dleft_scheme(16, 4, "double").describe()
+        with pytest.raises(ConfigurationError):
+            make_dleft_scheme(16, 4, "triple")
+
+    def test_conservation(self):
+        batch = simulate_dleft(make_dleft_scheme(64, 4, "double"), 64, 8, seed=1)
+        assert (batch.loads.sum(axis=1) == 64).all()
+
+    def test_dleft_beats_symmetric_on_tail(self):
+        """Vöcking's scheme should have a lighter >= 2 tail than the
+        symmetric d-choice scheme at the same geometry (asymmetry helps)."""
+        n, trials = 2048, 40
+        dleft = simulate_dleft(
+            make_dleft_scheme(n, 4, "random"), n, trials, seed=2
+        ).distribution()
+        sym = simulate_batch(
+            FullyRandomChoices(n, 4), n, trials, seed=3
+        ).distribution()
+        assert dleft.tail_at(2) < sym.tail_at(2)
+
+    def test_double_vs_random_dleft_agree(self):
+        n, trials = 1024, 60
+        a = simulate_dleft(
+            make_dleft_scheme(n, 4, "random"), n, trials, seed=4
+        ).distribution()
+        b = simulate_dleft(
+            make_dleft_scheme(n, 4, "double"), n, trials, seed=5
+        ).distribution()
+        for load in range(3):
+            assert a.fraction_at(load) == pytest.approx(
+                b.fraction_at(load), abs=0.01
+            )
+
+
+class TestOneChoice:
+    def test_conservation(self):
+        batch = simulate_one_choice(32, 100, trials=20, seed=1)
+        assert (batch.loads.sum(axis=1) == 100).all()
+
+    def test_matches_poisson_profile(self):
+        """At m = n, load fractions approach Poisson(1) pmf."""
+        n, trials = 4096, 50
+        dist = simulate_one_choice(n, n, trials=trials, seed=2).distribution()
+        poisson = np.exp(-1.0) / np.array([1, 1, 2, 6])  # e^-1 / k!
+        for load in range(4):
+            assert dist.fraction_at(load) == pytest.approx(
+                poisson[load], abs=0.01
+            )
+
+    def test_one_choice_worse_than_two(self):
+        n = 2048
+        one = simulate_one_choice(n, n, trials=20, seed=3).distribution()
+        two = simulate_batch(
+            FullyRandomChoices(n, 2), n, trials=20, seed=4
+        ).distribution()
+        assert one.max_load > two.max_load
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_one_choice(0, 10, 1)
+        with pytest.raises(ConfigurationError):
+            simulate_one_choice(8, -1, 1)
+        with pytest.raises(ConfigurationError):
+            simulate_one_choice(8, 10, 0)
+
+
+class TestOnePlusBeta:
+    def test_beta_zero_is_one_choice_like(self):
+        n = 1024
+        dist = simulate_one_plus_beta(n, n, 30, beta=0.0, seed=1).distribution()
+        one = simulate_one_choice(n, n, trials=30, seed=2).distribution()
+        assert dist.fraction_at(0) == pytest.approx(one.fraction_at(0), abs=0.02)
+
+    def test_beta_one_is_two_choice_like(self):
+        n = 1024
+        dist = simulate_one_plus_beta(n, n, 30, beta=1.0, seed=3).distribution()
+        two = simulate_batch(
+            FullyRandomChoices(n, 2), n, trials=30, seed=4
+        ).distribution()
+        assert dist.fraction_at(0) == pytest.approx(two.fraction_at(0), abs=0.02)
+
+    def test_interpolation_monotone_in_beta(self):
+        """Larger beta -> more balancing -> lighter >= 2 tail."""
+        n = 2048
+        tails = [
+            simulate_one_plus_beta(n, n, 25, beta=b, seed=5)
+            .distribution()
+            .tail_at(2)
+            for b in (0.0, 0.5, 1.0)
+        ]
+        assert tails[0] > tails[1] > tails[2]
+
+    def test_double_hashing_variant(self):
+        n = 512
+        a = simulate_one_plus_beta(
+            n, n, 40, beta=0.7, scheme="double", seed=6
+        ).distribution()
+        b = simulate_one_plus_beta(
+            n, n, 40, beta=0.7, scheme="random", seed=7
+        ).distribution()
+        assert a.fraction_at(0) == pytest.approx(b.fraction_at(0), abs=0.02)
+
+    def test_explicit_scheme_object(self):
+        n = 128
+        scheme = DoubleHashingChoices(n, 2)
+        dist = simulate_one_plus_beta(
+            n, n, 5, beta=0.5, scheme=scheme, seed=8
+        ).distribution()
+        assert dist.trials == 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_one_plus_beta(16, 16, 1, beta=1.5)
+        with pytest.raises(ConfigurationError):
+            simulate_one_plus_beta(16, 16, 1, beta=0.5, scheme="weird")
+        with pytest.raises(ConfigurationError):
+            # d != 2 scheme rejected
+            simulate_one_plus_beta(
+                16, 16, 1, beta=0.5, scheme=FullyRandomChoices(16, 3)
+            )
+        with pytest.raises(ConfigurationError):
+            # wrong n_bins rejected
+            simulate_one_plus_beta(
+                16, 16, 1, beta=0.5, scheme=FullyRandomChoices(8, 2)
+            )

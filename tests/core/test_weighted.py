@@ -1,0 +1,112 @@
+"""Tests for the weighted balls-into-bins engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weighted import simulate_weighted
+from repro.errors import ConfigurationError
+from repro.hashing import DoubleHashingChoices, FullyRandomChoices
+
+
+class TestMechanics:
+    def test_weight_conservation(self):
+        res = simulate_weighted(
+            FullyRandomChoices(64, 3), 128, trials=6, seed=1
+        )
+        assert np.allclose(res.loads.sum(axis=1), res.total_weight_per_trial)
+
+    def test_mean_total_weight(self):
+        """exp(1) weights: total ~ n_balls per trial."""
+        res = simulate_weighted(
+            FullyRandomChoices(128, 2), 2000, trials=10, seed=2
+        )
+        assert res.total_weight_per_trial.mean() == pytest.approx(
+            2000, rel=0.05
+        )
+
+    def test_custom_sampler(self):
+        res = simulate_weighted(
+            FullyRandomChoices(32, 2), 100, trials=3, seed=3,
+            weight_sampler=lambda rng, size: np.full(size, 2.0),
+        )
+        assert np.allclose(res.total_weight_per_trial, 200.0)
+
+    def test_unit_weights_match_unweighted_law(self):
+        """Constant weight 1 reduces to the standard process."""
+        from repro.core import simulate_batch
+
+        n, trials = 512, 40
+        weighted = simulate_weighted(
+            FullyRandomChoices(n, 3), n, trials, seed=4,
+            weight_sampler=lambda rng, size: np.ones(size),
+        )
+        plain = simulate_batch(FullyRandomChoices(n, 3), n, trials, seed=5)
+        # Same fraction of empty bins (weight 0 == load 0).
+        frac_w = (weighted.loads == 0).mean()
+        frac_p = (plain.loads == 0).mean()
+        assert frac_w == pytest.approx(frac_p, abs=0.01)
+
+    def test_bad_sampler_shape(self):
+        with pytest.raises(ConfigurationError):
+            simulate_weighted(
+                FullyRandomChoices(16, 2), 10, trials=2, seed=6,
+                weight_sampler=lambda rng, size: np.ones(3),
+            )
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_weighted(
+                FullyRandomChoices(16, 2), 10, trials=2, seed=7,
+                weight_sampler=lambda rng, size: np.zeros(size),
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            simulate_weighted(FullyRandomChoices(16, 2), -1, trials=2)
+        with pytest.raises(ConfigurationError):
+            simulate_weighted(FullyRandomChoices(16, 2), 10, trials=0)
+
+
+class TestPaperQuestionExtended:
+    def test_double_matches_random_weighted(self):
+        """The double-hashing question one setting out: weighted gaps and
+        load spreads agree between schemes."""
+        n, trials = 1024, 60
+        a = simulate_weighted(FullyRandomChoices(n, 3), n, trials, seed=8)
+        b = simulate_weighted(DoubleHashingChoices(n, 3), n, trials, seed=9)
+        # Gap means under exp(1) weights have std ~1 per trial; allow a
+        # ~3-sigma band on the difference of means.
+        pooled_se = float(
+            np.sqrt(
+                a.gap_per_trial.var(ddof=1) / trials
+                + b.gap_per_trial.var(ddof=1) / trials
+            )
+        )
+        assert abs(a.gap_per_trial.mean() - b.gap_per_trial.mean()) < max(
+            3.5 * pooled_se, 0.3
+        )
+        assert (a.loads == 0).mean() == pytest.approx(
+            (b.loads == 0).mean(), abs=0.01
+        )
+
+    def test_two_choices_beat_one_weighted(self):
+        n, trials = 1024, 15
+        one = simulate_weighted(FullyRandomChoices(n, 1), n, trials, seed=10)
+        two = simulate_weighted(FullyRandomChoices(n, 2), n, trials, seed=11)
+        assert two.gap_per_trial.mean() < one.gap_per_trial.mean()
+
+
+@given(
+    n_exp=st.integers(min_value=3, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_weighted_conservation(n_exp, seed):
+    n = 2**n_exp
+    res = simulate_weighted(DoubleHashingChoices(n, 2), n, trials=3, seed=seed)
+    assert np.allclose(res.loads.sum(axis=1), res.total_weight_per_trial)
+    assert (res.loads >= 0).all()

@@ -1,0 +1,80 @@
+"""Tests for the open-question experiments (gap probe, scheme zoo)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.extra import gap_experiment, scheme_zoo_experiment
+
+
+class TestGapExperiment:
+    def test_gap_flat_in_m_for_both_schemes(self):
+        """The Berenbrink et al. phenomenon: the gap max − m/n does not grow
+        with m — and (the open-question probe) neither does it for double
+        hashing at these scales."""
+        exp = gap_experiment(512, 3, balls_per_bin=(1, 8, 32), trials=10,
+                             seed=1)
+        # Gap stays within a small constant band across a 32x range of m.
+        assert exp.gap_random.max() - exp.gap_random.min() < 2.0
+        assert exp.gap_double.max() - exp.gap_double.min() < 2.0
+
+    def test_schemes_agree(self):
+        exp = gap_experiment(512, 3, balls_per_bin=(1, 16), trials=10, seed=2)
+        for gr, gd in zip(exp.gap_random, exp.gap_double):
+            assert gr == pytest.approx(gd, abs=1.0)
+
+    def test_gap_positive(self):
+        exp = gap_experiment(256, 3, balls_per_bin=(4,), trials=5, seed=3)
+        assert (exp.gap_random > 0).all()
+        assert (exp.gap_double > 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            gap_experiment(64, 3, balls_per_bin=(), trials=5)
+        with pytest.raises(ConfigurationError):
+            gap_experiment(64, 3, trials=0)
+
+
+class TestSchemeZoo:
+    @pytest.fixture(scope="class")
+    def zoo(self):
+        return scheme_zoo_experiment(2048, trials=40, d=4, seed=4)
+
+    def test_all_schemes_present(self, zoo):
+        assert set(zoo) == {
+            "one-choice",
+            "one-plus-beta(0.5)",
+            "kp-blocks",
+            "fully-random",
+            "double-hashing",
+            "d-left-double",
+        }
+
+    def test_balancing_hierarchy(self, zoo):
+        """More/better choices -> fewer overloaded bins:
+        one-choice > (1+beta) > kp-blocks >= fully-random ~ double >
+        d-left."""
+        t = {name: s["tail2"] for name, s in zoo.items()}
+        assert t["one-choice"] > t["one-plus-beta(0.5)"]
+        assert t["one-plus-beta(0.5)"] > t["kp-blocks"]
+        assert t["kp-blocks"] >= t["fully-random"] - 0.002
+        assert t["d-left-double"] < t["double-hashing"]
+
+    def test_double_equals_random(self, zoo):
+        # Tolerance ~4 pooled standard errors at this scale.
+        assert zoo["double-hashing"]["empty"] == pytest.approx(
+            zoo["fully-random"]["empty"], abs=0.006
+        )
+        assert zoo["double-hashing"]["tail2"] == pytest.approx(
+            zoo["fully-random"]["tail2"], abs=0.006
+        )
+
+    def test_max_load_hierarchy(self, zoo):
+        assert zoo["one-choice"]["max_load"] > zoo["fully-random"]["max_load"]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            scheme_zoo_experiment(100, d=3)  # odd d
+        with pytest.raises(ConfigurationError):
+            scheme_zoo_experiment(102, d=4)  # not divisible

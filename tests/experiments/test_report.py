@@ -1,0 +1,63 @@
+"""Tests for report formatting details."""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_number, format_table
+from repro.experiments.tables import ExperimentTable
+
+
+class TestFormatNumber:
+    def test_large_values_two_decimals(self):
+        assert format_number(1752.4974) == "1752.50"
+        assert format_number(100.0) == "100.00"
+
+    def test_mid_range_five_decimals(self):
+        assert format_number(0.5) == "0.50000"
+        assert format_number(2.02805) == "2.02805"
+
+    def test_tiny_scientific(self):
+        assert format_number(2.25e-5) == "2.25e-05"
+
+    def test_zero_and_strings_and_ints(self):
+        assert format_number(0.0) == "0"
+        assert format_number(0) == "0"
+        assert format_number(42) == "42"
+        assert format_number("2^14") == "2^14"
+
+    def test_negative(self):
+        assert format_number(-0.25) == "-0.25000"
+
+
+class TestFormatTable:
+    def _table(self) -> ExperimentTable:
+        return ExperimentTable(
+            table_id="Table X",
+            title="demo",
+            columns=["Load", "Value"],
+            rows=[(0, 0.12345678), (1, 2.5e-6)],
+            paper={},
+            meta={"n": 16},
+        )
+
+    def test_meta_shown_by_default(self):
+        text = format_table(self._table())
+        assert "[n=16]" in text
+
+    def test_meta_hidden(self):
+        text = format_table(self._table(), show_meta=False)
+        assert "[n=16]" not in text
+
+    def test_alignment_and_values(self):
+        text = format_table(self._table())
+        lines = text.splitlines()
+        header = next(line for line in lines if "Load" in line)
+        assert "Value" in header
+        assert "0.12346" in text
+        assert "2.50e-06" in text
+
+    def test_empty_rows(self):
+        table = ExperimentTable(
+            table_id="T", title="empty", columns=["A"], rows=[], paper=None
+        )
+        text = format_table(table)
+        assert "A" in text

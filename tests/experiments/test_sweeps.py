@@ -1,0 +1,73 @@
+"""Tests for the sweep framework and report rendering utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.report import render_all
+from repro.experiments.sweeps import (
+    convergence_sweep,
+    load_sweep,
+    save_sweep,
+)
+from repro.experiments.tables import table1_load_fractions
+
+
+class TestConvergenceSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return convergence_sweep(
+            3, log2_n_values=(7, 9, 11), trials=150, seed=1
+        )
+
+    def test_structure(self, sweep):
+        assert sweep.parameter == "log2_n"
+        assert sweep.values == (7, 9, 11)
+        assert len(sweep.random) == 3 == len(sweep.double)
+        assert sweep.meta["d"] == 3
+
+    def test_gaps_shrink_with_n(self, sweep):
+        assert sweep.random[-1] < sweep.random[0]
+        assert sweep.double[-1] < sweep.double[0]
+
+    def test_gaps_small_at_largest_n(self, sweep):
+        assert sweep.random[-1] < 0.01
+        assert sweep.double[-1] < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            convergence_sweep(3, log2_n_values=())
+        with pytest.raises(ConfigurationError):
+            convergence_sweep(3, trials=0)
+
+
+class TestSweepIO:
+    def test_round_trip(self, tmp_path):
+        sweep = convergence_sweep(2, log2_n_values=(6, 8), trials=20, seed=2)
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        restored = load_sweep(path)
+        assert restored == sweep
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        from repro.io import save_json
+
+        path = tmp_path / "bad.json"
+        save_json({"kind": "Other"}, path)
+        with pytest.raises(ValueError, match="SweepResult"):
+            load_sweep(path)
+
+
+class TestRenderAll:
+    def test_renders_multiple_tables(self):
+        thunks = [
+            lambda: table1_load_fractions(3, n=128, trials=5, seed=1),
+            lambda: table1_load_fractions(4, n=128, trials=5, seed=2),
+        ]
+        text = render_all(thunks)
+        assert text.count("Table 1") == 2
+        assert "\n\n" in text
+
+    def test_empty_input(self):
+        assert render_all([]) == ""

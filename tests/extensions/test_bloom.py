@@ -1,0 +1,101 @@
+"""Tests for the Bloom filter extension (Kirsch–Mitzenmacher double hashing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.extensions import BloomFilter, theoretical_fpr
+
+
+class TestBasics:
+    @pytest.mark.parametrize("mode", ["double", "random"])
+    def test_no_false_negatives(self, mode, rng):
+        bf = BloomFilter(4096, 4, mode=mode, seed=1)
+        keys = rng.integers(0, 2**60, 500)
+        bf.add(keys)
+        assert bool(np.all(bf.contains(keys)))
+
+    def test_empty_filter_rejects_everything(self):
+        bf = BloomFilter(1024, 3, seed=2)
+        assert not bf.contains(12345)
+        assert bf.fill_fraction == 0.0
+
+    def test_scalar_api(self):
+        bf = BloomFilter(1024, 3, seed=3)
+        bf.add(42)
+        assert bf.contains(42) is True
+        assert isinstance(bf.contains(np.array([42, 43])), np.ndarray)
+
+    def test_fill_fraction_grows(self, rng):
+        bf = BloomFilter(2048, 4, seed=4)
+        bf.add(rng.integers(0, 2**60, 100))
+        first = bf.fill_fraction
+        bf.add(rng.integers(0, 2**60, 400))
+        assert bf.fill_fraction > first
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(1, 3)
+        with pytest.raises(ConfigurationError):
+            BloomFilter(64, 0)
+        with pytest.raises(ConfigurationError):
+            BloomFilter(64, 3, mode="triple")
+        with pytest.raises(ConfigurationError):
+            theoretical_fpr(0, 3, 10)
+
+
+class TestDoubleHashedIndices:
+    def test_indices_distinct_power_of_two(self, rng):
+        """Odd strides mod 2^k give k distinct probe bits per key."""
+        bf = BloomFilter(256, 5, mode="double", seed=5)
+        keys = rng.integers(0, 2**60, 300)
+        idx = bf._indices(np.asarray(keys, dtype=np.int64))
+        for row in idx:
+            assert len(set(row.tolist())) == 5
+
+    def test_indices_deterministic_per_key(self):
+        bf = BloomFilter(256, 4, mode="double", seed=6)
+        a = bf._indices(np.array([777]))
+        b = bf._indices(np.array([777]))
+        assert np.array_equal(a, b)
+
+
+class TestFalsePositiveRate:
+    @pytest.mark.parametrize("mode", ["double", "random"])
+    def test_fpr_near_theory(self, mode, rng):
+        m, k, n_items = 2**14, 5, 2000
+        bf = BloomFilter(m, k, mode=mode, seed=7)
+        bf.add(rng.integers(0, 2**59, n_items))
+        fresh = rng.integers(2**59, 2**60, 20000)
+        fpr = bf.empirical_fpr(fresh)
+        theory = theoretical_fpr(m, k, n_items)
+        assert fpr == pytest.approx(theory, rel=0.35)
+
+    def test_double_matches_random(self, rng):
+        """The Kirsch–Mitzenmacher claim: same FPR for both modes."""
+        m, k, n_items = 2**14, 5, 2000
+        keys = rng.integers(0, 2**59, n_items)
+        fresh = rng.integers(2**59, 2**60, 30000)
+        fprs = {}
+        for mode in ("double", "random"):
+            bf = BloomFilter(m, k, mode=mode, seed=8)
+            bf.add(keys)
+            fprs[mode] = bf.empirical_fpr(fresh)
+        assert fprs["double"] == pytest.approx(fprs["random"], rel=0.3)
+
+    def test_member_exclusion(self, rng):
+        bf = BloomFilter(1024, 3, seed=9)
+        keys = rng.integers(0, 1000, 50)
+        bf.add(keys)
+        members = set(int(x) for x in keys)
+        # Probing only members would give FPR 1.0; exclusion must drop them.
+        fpr = bf.empirical_fpr(keys, member_keys=members)
+        assert np.isnan(fpr)
+
+    def test_expected_fpr_tracks_items(self, rng):
+        bf = BloomFilter(4096, 4, seed=10)
+        assert bf.expected_fpr() == 0.0
+        bf.add(rng.integers(0, 2**50, 1000))
+        assert 0.0 < bf.expected_fpr() < 1.0

@@ -1,0 +1,108 @@
+"""Tests for the cuckoo filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TableFullError
+from repro.extensions.cuckoo_filter import CuckooFilter
+
+
+class TestBasics:
+    def test_insert_contains(self):
+        f = CuckooFilter(256, seed=1)
+        for key in range(400):
+            f.insert(key)
+        assert all(f.contains(k) for k in range(400))
+
+    def test_no_false_negatives_under_relocation(self):
+        """Even after heavy kicking, every inserted key stays findable."""
+        f = CuckooFilter(128, seed=2)
+        n = int(0.9 * 128 * 4)
+        for key in range(n):
+            f.insert(key)
+        assert all(f.contains(k) for k in range(n))
+
+    def test_delete(self):
+        f = CuckooFilter(64, seed=3)
+        f.insert(42)
+        assert f.contains(42)
+        assert f.delete(42)
+        assert not f.contains(42)
+        assert f.size == 0
+
+    def test_delete_absent_returns_false(self):
+        f = CuckooFilter(64, seed=4)
+        assert not f.delete(777)
+
+    def test_partner_is_involution(self):
+        """i2's partner under the same fingerprint is i1 — required for
+        relocation correctness."""
+        f = CuckooFilter(256, seed=5)
+        for key in range(500):
+            i1, i2, fp = f.buckets_for(key)
+            assert f._partner(i2, fp) == i1
+
+    def test_fingerprint_nonzero(self):
+        f = CuckooFilter(64, fingerprint_bits=4, seed=6)
+        assert all(f.fingerprint(k) != 0 for k in range(3000))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CuckooFilter(100)  # not a power of two
+        with pytest.raises(ConfigurationError):
+            CuckooFilter(64, bucket_size=0)
+        with pytest.raises(ConfigurationError):
+            CuckooFilter(64, fingerprint_bits=1)
+        with pytest.raises(ConfigurationError):
+            CuckooFilter(64, max_kicks=0)
+
+
+class TestCapacity:
+    def test_reaches_high_load(self):
+        """b = 4 cuckoo filters support ~95% occupancy."""
+        f = CuckooFilter(256, seed=7, max_kicks=1000)
+        key = 0
+        try:
+            while f.load_factor < 0.95:
+                f.insert(key)
+                key += 1
+        except TableFullError:
+            pass
+        assert f.load_factor > 0.9
+
+    def test_overfull_raises(self):
+        f = CuckooFilter(4, bucket_size=1, seed=8, max_kicks=20)
+        with pytest.raises(TableFullError):
+            for key in range(10):
+                f.insert(key)
+
+    def test_relocations_grow_with_load(self):
+        f = CuckooFilter(512, seed=9, max_kicks=2000)
+        early = sum(f.insert(k) for k in range(500))
+        late = sum(f.insert(k) for k in range(500, 1900))
+        assert late > early
+
+
+class TestFalsePositives:
+    def test_fpr_near_theory(self):
+        f = CuckooFilter(1024, fingerprint_bits=10, seed=10)
+        rng = np.random.default_rng(11)
+        for k in rng.integers(0, 2**50, 3500):
+            f.insert(int(k))
+        fresh = rng.integers(2**50, 2**51, 20000)
+        fpr = float(np.mean([f.contains(int(k)) for k in fresh]))
+        assert fpr == pytest.approx(f.expected_fpr(), rel=0.5)
+
+    def test_more_bits_fewer_false_positives(self):
+        rates = {}
+        rng = np.random.default_rng(12)
+        keys = rng.integers(0, 2**50, 1500)
+        fresh = rng.integers(2**50, 2**51, 8000)
+        for bits in (6, 14):
+            f = CuckooFilter(1024, fingerprint_bits=bits, seed=13)
+            for k in keys:
+                f.insert(int(k))
+            rates[bits] = float(np.mean([f.contains(int(k)) for k in fresh]))
+        assert rates[14] < rates[6]

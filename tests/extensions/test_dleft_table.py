@@ -1,0 +1,112 @@
+"""Tests for the d-left fingerprint hash table (router application)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TableFullError
+from repro.extensions.dleft_table import DLeftHashTable
+from repro.fluid import solve_dleft
+
+
+class TestBasics:
+    @pytest.mark.parametrize("mode", ["double", "random"])
+    def test_insert_lookup(self, mode):
+        table = DLeftHashTable(256, 4, mode=mode, seed=1)
+        for key in range(300):
+            table.insert(key)
+        assert all(table.lookup(k) for k in range(300))
+
+    def test_absent_keys_mostly_miss(self):
+        table = DLeftHashTable(256, 4, fingerprint_bits=20, seed=2)
+        for key in range(200):
+            table.insert(key)
+        misses = sum(
+            not table.lookup(k) for k in range(10**6, 10**6 + 500)
+        )
+        # FP rate ~ entries-per-probe * 2^-20; expect ~all misses.
+        assert misses >= 495
+
+    def test_size_and_load_factor(self):
+        table = DLeftHashTable(64, 4, bucket_capacity=2, seed=3)
+        for key in range(128):
+            table.insert(key)
+        assert table.size == 128
+        assert table.load_factor == pytest.approx(128 / (4 * 64 * 2))
+
+    def test_insert_returns_leftmost_tie(self):
+        table = DLeftHashTable(64, 4, seed=4)
+        k, b = table.insert(1)
+        assert 0 <= k < 4 and 0 <= b < 64
+        assert table.occupancy[k, b] == 1
+
+    def test_fingerprint_never_zero(self):
+        table = DLeftHashTable(64, 2, fingerprint_bits=4, seed=5)
+        assert all(table.fingerprint(k) != 0 for k in range(2000))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DLeftHashTable(1, 2)
+        with pytest.raises(ConfigurationError):
+            DLeftHashTable(64, 1)
+        with pytest.raises(ConfigurationError):
+            DLeftHashTable(64, 2, bucket_capacity=0)
+        with pytest.raises(ConfigurationError):
+            DLeftHashTable(64, 2, mode="left-right")
+        with pytest.raises(ConfigurationError):
+            DLeftHashTable(64, 2, fingerprint_bits=0)
+
+
+class TestOverflowBehaviour:
+    def test_overflow_raises_and_counts(self):
+        table = DLeftHashTable(2, 2, bucket_capacity=1, seed=6)
+        inserted = 0
+        with pytest.raises(TableFullError):
+            for key in range(100):
+                table.insert(key)
+                inserted += 1
+        assert table.overflow_count == 1
+        assert table.size == inserted
+
+    def test_no_overflow_below_one_per_bucket(self):
+        """At ~1 entry per bucket with capacity 4, overflow never happens
+        (the d-left tail: load >= 3 bins are ~1e-10 at this scale)."""
+        table = DLeftHashTable(1024, 4, bucket_capacity=4, seed=7)
+        for key in range(4 * 1024):
+            table.insert(key)
+        assert table.overflow_count == 0
+
+    def test_occupancy_histogram_matches_fluid(self):
+        """At one entry per bucket, the occupancy histogram is the d-left
+        fluid-limit load distribution (0.124 / 0.752 / 0.124)."""
+        n_buckets = 4096
+        table = DLeftHashTable(n_buckets, 4, bucket_capacity=8, seed=8)
+        for key in range(4 * n_buckets):
+            table.insert(key)
+        stats = table.occupancy_stats()
+        fractions = stats.histogram / (4 * n_buckets)
+        fluid = solve_dleft(4, 1.0)
+        for occ in range(3):
+            assert fractions[occ] == pytest.approx(
+                fluid.fraction_at(occ), abs=0.01
+            )
+        assert stats.max_occupancy <= 3
+
+
+class TestSchemeEquivalence:
+    def test_double_matches_random_occupancy(self):
+        """The paper's claim in its native application: bucket-occupancy
+        histograms match between hashing modes."""
+        histograms = {}
+        for mode in ("double", "random"):
+            table = DLeftHashTable(2048, 4, bucket_capacity=6, mode=mode,
+                                   seed=9)
+            for key in range(4 * 2048):
+                table.insert(key)
+            histograms[mode] = (
+                table.occupancy_stats().histogram / (4 * 2048)
+            )
+        a, b = histograms["double"], histograms["random"]
+        width = min(len(a), len(b))
+        assert np.allclose(a[:width], b[:width], atol=0.012)

@@ -1,0 +1,123 @@
+"""Tests for the invertible Bloom lookup table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.extensions.iblt import IBLT
+from repro.peeling import peeling_threshold
+
+
+class TestBasics:
+    @pytest.mark.parametrize("mode", ["double", "random"])
+    def test_insert_get(self, mode):
+        t = IBLT(256, 3, mode=mode, seed=1)
+        t.insert(42, 100)
+        t.insert(77, 200)
+        assert t.get(42) == 100
+        assert t.get(77) == 200
+
+    def test_absent_key_none(self):
+        t = IBLT(256, 3, seed=2)
+        t.insert(1, 10)
+        assert t.get(999999) is None
+
+    def test_insert_delete_empties(self):
+        t = IBLT(128, 3, seed=3)
+        t.insert(5, 50)
+        t.insert(6, 60)
+        t.delete(5, 50)
+        t.delete(6, 60)
+        assert t.is_empty
+
+    def test_delete_before_insert_cancels(self):
+        """Set-difference usage: operations commute."""
+        t = IBLT(128, 3, seed=4)
+        t.delete(9, 90)
+        t.insert(9, 90)
+        assert t.is_empty
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IBLT(1, 3)
+        with pytest.raises(ConfigurationError):
+            IBLT(64, 1)
+        with pytest.raises(ConfigurationError):
+            IBLT(2, 4)
+        with pytest.raises(ConfigurationError):
+            IBLT(64, 3, mode="zigzag")
+
+    def test_double_mode_cells_distinct(self):
+        t = IBLT(256, 4, mode="double", seed=5)
+        for key in range(100):
+            assert len(set(t.cells(key).tolist())) == 4
+
+
+class TestListing:
+    @pytest.mark.parametrize("mode", ["double", "random"])
+    def test_lists_all_below_threshold(self, mode):
+        """Well below the d = 3 peeling threshold, listing recovers
+        everything."""
+        m = 512
+        t = IBLT(m, 3, mode=mode, seed=6)
+        inserted = {k: k * 7 for k in range(1000, 1000 + m // 2)}
+        for k, v in inserted.items():
+            t.insert(k, v)
+        result = t.list_entries()
+        assert result.complete
+        assert dict(result.entries) == inserted
+        assert t.is_empty
+
+    def test_listing_fails_above_threshold(self):
+        """Above c* ~ 0.818 keys per cell, a macroscopic core remains."""
+        m = 1024
+        c = peeling_threshold(3) + 0.1
+        t = IBLT(m, 3, mode="random", seed=7)
+        n_keys = int(c * m)
+        for k in range(n_keys):
+            t.insert(k + 5, k)
+        result = t.list_entries()
+        assert not result.complete
+        assert result.residue_cells > 0
+        assert len(result.entries) < n_keys
+
+    def test_net_deleted_entries_listed(self):
+        """A net-deleted entry appears during listing (count −1 cells)."""
+        t = IBLT(128, 3, seed=8)
+        t.delete(31, 310)
+        result = t.list_entries()
+        assert result.complete
+        assert (31, 310) in result.entries
+
+    def test_set_difference_recovery(self):
+        """Insert set A, delete set B: listing recovers A Δ B."""
+        t = IBLT(512, 3, seed=9)
+        a = {k: k * 3 for k in range(100, 160)}
+        b = {k: k * 3 for k in range(140, 200)}
+        for k, v in a.items():
+            t.insert(k, v)
+        for k, v in b.items():
+            t.delete(k, v)
+        result = t.list_entries()
+        assert result.complete
+        recovered = {k for k, _ in result.entries}
+        assert recovered == set(a) ^ set(b)
+
+    def test_listing_is_destructive(self):
+        t = IBLT(128, 3, seed=10)
+        t.insert(4, 44)
+        t.list_entries()
+        assert t.is_empty
+        assert t.get(4) is None
+
+
+class TestLoadEstimate:
+    def test_load_tracks_entries(self):
+        t = IBLT(100, 4, mode="random", seed=11)
+        for k in range(25):
+            t.insert(k, k)
+        # 25 entries over 100 cells; duplicated cells within a key can
+        # reduce the count mass slightly in random mode.
+        assert t.load == pytest.approx(0.25, abs=0.02)

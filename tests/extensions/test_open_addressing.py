@@ -1,0 +1,105 @@
+"""Tests for the open-addressing table and the 1/(1−α) search-cost law."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, TableFullError
+from repro.extensions import (
+    OpenAddressTable,
+    expected_unsuccessful_probes,
+)
+from repro.extensions.open_addressing import expected_linear_probes
+
+
+class TestTheoryCurves:
+    def test_costs_at_zero_load(self):
+        assert expected_unsuccessful_probes(0.0) == 1.0
+        assert expected_linear_probes(0.0) == 1.0
+
+    def test_costs_diverge_at_high_load(self):
+        assert expected_unsuccessful_probes(0.99) == pytest.approx(100.0)
+        assert expected_linear_probes(0.9) == pytest.approx(50.5)
+
+    def test_linear_worse_than_double_beyond_zero(self):
+        for alpha in (0.3, 0.6, 0.9):
+            assert expected_linear_probes(alpha) > expected_unsuccessful_probes(
+                alpha
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_unsuccessful_probes(1.0)
+        with pytest.raises(ConfigurationError):
+            expected_linear_probes(-0.1)
+
+
+@pytest.mark.parametrize("probe", ["double", "linear", "random"])
+class TestTableBasics:
+    def test_insert_search_roundtrip(self, probe):
+        table = OpenAddressTable(128, probe=probe, seed=1)
+        for key in range(60):
+            table.insert(key)
+        assert all(table.search(k) for k in range(60))
+        assert not table.search(10**9)
+
+    def test_insert_cost_grows_with_load(self, probe):
+        table = OpenAddressTable(256, probe=probe, seed=2)
+        early = [table.insert(k) for k in range(25)]
+        for k in range(25, 200):
+            table.insert(k)
+        late = [table.insert(k) for k in range(200, 225)]
+        assert sum(late) > sum(early)
+
+    def test_full_table_raises(self, probe):
+        table = OpenAddressTable(8, probe=probe, seed=3)
+        for key in range(8):
+            table.insert(key)
+        with pytest.raises(TableFullError):
+            table.insert(99)
+
+    def test_unsuccessful_cost_positive(self, probe):
+        table = OpenAddressTable(64, probe=probe, seed=4)
+        for key in range(32):
+            table.insert(key)
+        assert table.unsuccessful_search_cost(10**6) >= 1
+
+
+class TestGuibasSzemerediLaw:
+    """Double hashing matches random probing at 1/(1−α) (paper related
+    work, refs [6, 16, 24]); linear probing does not."""
+
+    @staticmethod
+    def _cost(probe: str, alpha: float, n: int = 4096) -> float:
+        table = OpenAddressTable(n, probe=probe, seed=5)
+        key = 0
+        while table.load_factor < alpha:
+            table.insert(key)
+            key += 1
+        return table.mean_unsuccessful_cost(2000, rng=6)
+
+    def test_double_matches_law(self):
+        cost = self._cost("double", 0.7)
+        assert cost == pytest.approx(expected_unsuccessful_probes(0.7), rel=0.08)
+
+    def test_random_matches_law(self):
+        cost = self._cost("random", 0.7)
+        assert cost == pytest.approx(expected_unsuccessful_probes(0.7), rel=0.08)
+
+    def test_double_matches_random(self):
+        assert self._cost("double", 0.8) == pytest.approx(
+            self._cost("random", 0.8), rel=0.1
+        )
+
+    def test_linear_strictly_worse(self):
+        assert self._cost("linear", 0.8) > 1.5 * self._cost("double", 0.8)
+
+
+class TestValidation:
+    def test_bad_probe_name(self):
+        with pytest.raises(ConfigurationError):
+            OpenAddressTable(64, probe="cubic")
+
+    def test_tiny_table(self):
+        with pytest.raises(ConfigurationError):
+            OpenAddressTable(1)

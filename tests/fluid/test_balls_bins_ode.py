@@ -1,0 +1,145 @@
+"""Tests for the d-choice fluid limit — including the paper's Table 2 values."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fluid import solve_balls_bins, solve_heavy_load
+
+
+class TestPaperValues:
+    """Anchors from the paper's Table 2 (d = 3, T = 1)."""
+
+    def test_table2_tail_fractions(self):
+        fl = solve_balls_bins(3, 1.0)
+        # Paper rounds to 4 decimals; our solver gives 0.823041 / 0.176452.
+        assert fl.tail_at(1) == pytest.approx(0.8231, abs=1.5e-4)
+        assert fl.tail_at(2) == pytest.approx(0.1765, abs=1.5e-4)
+        assert fl.tail_at(3) == pytest.approx(0.00051, abs=5e-6)
+
+    def test_table1_load_fractions_d3(self):
+        fl = solve_balls_bins(3, 1.0)
+        assert fl.fraction_at(0) == pytest.approx(0.17696, abs=1e-4)
+        assert fl.fraction_at(1) == pytest.approx(0.64661, abs=1e-4)
+        assert fl.fraction_at(2) == pytest.approx(0.17593, abs=1e-4)
+        assert fl.fraction_at(3) == pytest.approx(0.00051, abs=1e-5)
+
+    def test_table1_load_fractions_d4(self):
+        fl = solve_balls_bins(4, 1.0)
+        assert fl.fraction_at(0) == pytest.approx(0.14081, abs=1e-4)
+        assert fl.fraction_at(1) == pytest.approx(0.71840, abs=1e-4)
+        assert fl.fraction_at(2) == pytest.approx(0.14077, abs=1e-4)
+        assert fl.fraction_at(3) == pytest.approx(2.3e-5, abs=2e-6)
+
+
+class TestExactSpecialCases:
+    def test_d1_is_poisson(self):
+        """For d = 1, x_i(t) is the Poisson(t) upper tail — closed form."""
+        from scipy import stats as sps
+
+        fl = solve_balls_bins(1, 1.0, max_load=12)
+        for i in range(6):
+            expected = float(sps.poisson.sf(i - 1, 1.0))
+            assert fl.tail_at(i) == pytest.approx(expected, abs=1e-8)
+
+    def test_mean_load_equals_time(self):
+        """Ball conservation: sum of tails equals T exactly."""
+        for d in (1, 2, 3, 4):
+            for t in (0.25, 1.0, 2.0):
+                fl = solve_balls_bins(d, t, max_load=24)
+                assert fl.mean_load == pytest.approx(t, abs=1e-8)
+
+    def test_zero_time(self):
+        fl = solve_balls_bins(3, 0.0)
+        assert fl.tail_at(0) == 1.0
+        assert fl.tail_at(1) == 0.0
+
+
+class TestStructure:
+    def test_tails_monotone_decreasing(self):
+        fl = solve_balls_bins(3, 1.0)
+        assert all(np.diff(fl.tails) <= 1e-12)
+
+    def test_tails_in_unit_interval(self):
+        fl = solve_balls_bins(4, 2.0)
+        assert (fl.tails >= 0).all() and (fl.tails <= 1).all()
+
+    def test_fractions_sum_to_one(self):
+        fl = solve_balls_bins(3, 1.0)
+        assert fl.load_fractions.sum() == pytest.approx(1.0, abs=1e-10)
+
+    def test_doubly_exponential_decay(self):
+        """x_{i+1} ~ x_i^d near the tail: log-tail ratio grows ~ d-fold."""
+        fl = solve_balls_bins(3, 1.0, max_load=6)
+        # x3/x2^3 bounded: tail at 3 should be close to (tail at 2)^3 scale.
+        ratio = fl.tail_at(3) / fl.tail_at(2) ** 3
+        assert 0.05 < ratio < 2.0
+
+    def test_larger_d_lighter_tail(self):
+        tails = [solve_balls_bins(d, 1.0).tail_at(2) for d in (2, 3, 4, 5)]
+        assert tails == sorted(tails, reverse=True)
+
+    def test_tail_at_beyond_truncation_is_zero(self):
+        fl = solve_balls_bins(3, 1.0, max_load=5)
+        assert fl.tail_at(99) == 0.0
+        assert fl.fraction_at(99) == 0.0
+
+    def test_negative_load_rejected(self):
+        fl = solve_balls_bins(3, 1.0)
+        with pytest.raises(ValueError):
+            fl.tail_at(-1)
+
+
+class TestHeavyLoad:
+    def test_table6_values_d3(self):
+        """Paper Table 6(a): T = 16, d = 3 fluid predictions match the
+        simulated fractions the paper reports (which sit at the limit)."""
+        fl = solve_heavy_load(3, 16.0)
+        assert fl.fraction_at(15) == pytest.approx(0.16885, abs=2e-4)
+        assert fl.fraction_at(16) == pytest.approx(0.62220, abs=2e-4)
+        assert fl.fraction_at(17) == pytest.approx(0.19482, abs=2e-4)
+        assert fl.fraction_at(14) == pytest.approx(0.01254, abs=1e-4)
+
+    def test_table6_values_d4(self):
+        fl = solve_heavy_load(4, 16.0)
+        assert fl.fraction_at(15) == pytest.approx(0.13908, abs=2e-4)
+        assert fl.fraction_at(16) == pytest.approx(0.71110, abs=2e-4)
+        assert fl.fraction_at(17) == pytest.approx(0.14622, abs=2e-4)
+
+    def test_mean_is_balls_per_bin(self):
+        fl = solve_heavy_load(3, 16.0)
+        assert fl.mean_load == pytest.approx(16.0, abs=1e-6)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            solve_heavy_load(3, -1.0)
+
+
+class TestValidation:
+    def test_rejects_bad_d(self):
+        with pytest.raises(ConfigurationError):
+            solve_balls_bins(0, 1.0)
+
+    def test_rejects_bad_truncation(self):
+        with pytest.raises(ConfigurationError):
+            solve_balls_bins(3, 1.0, max_load=0)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            solve_balls_bins(3, -0.5)
+
+
+@given(
+    d=st.integers(min_value=1, max_value=6),
+    t=st.floats(min_value=0.01, max_value=4.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_conservation_and_monotonicity(d, t):
+    fl = solve_balls_bins(d, t, max_load=int(t) + 14)
+    assert fl.mean_load == pytest.approx(t, abs=1e-6)
+    assert all(np.diff(fl.tails) <= 1e-9)
+    assert (fl.load_fractions >= -1e-12).all()

@@ -1,0 +1,162 @@
+"""Tests for the d-left and supermarket fluid limits (Tables 7 and 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fluid import (
+    equilibrium_mean_queue_length,
+    equilibrium_mean_sojourn_time,
+    equilibrium_tail,
+    solve_balls_bins,
+    solve_dleft,
+    solve_supermarket,
+)
+from repro.fluid.supermarket import supermarket_rhs
+
+
+class TestDLeftPaperValues:
+    def test_table7_fractions(self):
+        """Paper Table 7: d-left, 4 choices — 0.12421 / 0.75159 / 0.12421."""
+        fl = solve_dleft(4, 1.0)
+        assert fl.fraction_at(0) == pytest.approx(0.12421, abs=5e-5)
+        assert fl.fraction_at(1) == pytest.approx(0.75159, abs=5e-5)
+        assert fl.fraction_at(2) == pytest.approx(0.12421, abs=5e-5)
+
+    def test_dleft_beats_symmetric(self):
+        """Asymmetry helps: lighter >= 2 tail than the symmetric scheme."""
+        dleft = solve_dleft(4, 1.0)
+        sym = solve_balls_bins(4, 1.0)
+        assert dleft.tails[2] < sym.tail_at(2)
+
+
+class TestDLeftStructure:
+    def test_conservation(self):
+        fl = solve_dleft(3, 1.0)
+        assert fl.tails[1:].sum() == pytest.approx(1.0, abs=1e-8)
+
+    def test_left_subtables_fill_first(self):
+        """Ties go left, so subtable 0 carries at least the load of
+        subtable d-1 at level 1."""
+        fl = solve_dleft(4, 1.0)
+        assert fl.subtable_tails[1, 0] >= fl.subtable_tails[1, 3]
+
+    def test_subtable_tails_monotone_in_level(self):
+        fl = solve_dleft(4, 1.0)
+        assert (np.diff(fl.subtable_tails, axis=0) <= 1e-12).all()
+
+    def test_d1_reduces_to_one_choice(self):
+        """With one subtable the process is plain one-choice: Poisson."""
+        from scipy import stats as sps
+
+        fl = solve_dleft(1, 1.0, max_load=10)
+        for i in range(1, 5):
+            assert fl.tails[i] == pytest.approx(
+                float(sps.poisson.sf(i - 1, 1.0)), abs=1e-8
+            )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            solve_dleft(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            solve_dleft(3, 1.0, max_load=0)
+
+
+class TestSupermarketEquilibrium:
+    @pytest.mark.parametrize(
+        "lam,d,expected",
+        [
+            (0.9, 3, 2.02805),
+            (0.9, 4, 1.77788),
+            (0.99, 3, 3.85967),
+            (0.99, 4, 3.24347),
+        ],
+    )
+    def test_table8_reference_column(self, lam, d, expected):
+        """The closed form reproduces the paper's Table 8 simulated values
+        to ~1e-3 (the residual is the paper's own finite-n/finite-T noise)."""
+        assert equilibrium_mean_sojourn_time(lam, d) == pytest.approx(
+            expected, abs=2.5e-3
+        )
+
+    def test_d1_is_mm1(self):
+        """d = 1 must reduce to M/M/1: mean sojourn 1/(1−λ)."""
+        for lam in (0.3, 0.5, 0.9):
+            assert equilibrium_mean_sojourn_time(lam, 1) == pytest.approx(
+                1.0 / (1.0 - lam), rel=1e-9
+            )
+
+    def test_tail_formula(self):
+        tail = equilibrium_tail(0.9, 3, max_jobs=5)
+        assert tail[0] == 1.0
+        assert tail[1] == pytest.approx(0.9)
+        assert tail[2] == pytest.approx(0.9**4)
+        assert tail[3] == pytest.approx(0.9**13)
+
+    def test_tail_no_overflow_deep(self):
+        tail = equilibrium_tail(0.5, 4, max_jobs=100)
+        assert np.isfinite(tail).all()
+        assert tail[-1] == 0.0
+
+    def test_mean_queue_positive_and_below_mm1(self):
+        mm1 = 0.9 / (1 - 0.9)  # M/M/1 mean queue length
+        val = equilibrium_mean_queue_length(0.9, 2)
+        assert 0 < val < mm1
+
+    def test_more_choices_faster(self):
+        times = [equilibrium_mean_sojourn_time(0.9, d) for d in (1, 2, 3, 4)]
+        assert times == sorted(times, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            equilibrium_mean_sojourn_time(1.0, 3)
+        with pytest.raises(ConfigurationError):
+            equilibrium_mean_sojourn_time(0.9, 0)
+
+
+class TestSupermarketTransient:
+    def test_converges_to_equilibrium(self):
+        fl = solve_supermarket(0.9, 3, 200.0)
+        assert fl.mean_sojourn_time == pytest.approx(
+            equilibrium_mean_sojourn_time(0.9, 3), abs=1e-6
+        )
+
+    def test_fixed_point_is_stationary(self):
+        """The RHS vanishes at the closed-form equilibrium tail."""
+        tail = equilibrium_tail(0.9, 3, max_jobs=30)
+        rhs = supermarket_rhs(0.0, tail[1:], 0.9, 3)
+        assert np.abs(rhs).max() < 1e-12
+
+    def test_warm_restart(self):
+        first = solve_supermarket(0.9, 3, 50.0)
+        resumed = solve_supermarket(0.9, 3, 150.0, start_tails=first.tails)
+        direct = solve_supermarket(0.9, 3, 200.0)
+        assert resumed.mean_sojourn_time == pytest.approx(
+            direct.mean_sojourn_time, abs=1e-7
+        )
+
+    def test_monotone_build_up_from_empty(self):
+        early = solve_supermarket(0.9, 3, 1.0)
+        late = solve_supermarket(0.9, 3, 20.0)
+        assert early.mean_queue_length < late.mean_queue_length
+
+    def test_tails_shape(self):
+        fl = solve_supermarket(0.5, 2, 10.0, max_jobs=12)
+        assert fl.tails.shape == (13,)
+        assert fl.tails[0] == 1.0
+
+
+@given(
+    lam=st.floats(min_value=0.05, max_value=0.98),
+    d=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_equilibrium_tail_monotone(lam, d):
+    tail = equilibrium_tail(lam, d)
+    assert (np.diff(tail) <= 1e-15).all()
+    assert tail[0] == 1.0
+    assert (tail >= 0).all()

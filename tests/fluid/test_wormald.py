@@ -1,0 +1,41 @@
+"""Tests for the Wormald deviation sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fluid.wormald import deviation_sweep
+from repro.hashing import DoubleHashingChoices, FullyRandomChoices
+
+
+class TestDeviationSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return deviation_sweep(
+            DoubleHashingChoices, 3, n_values=(128, 512, 2048),
+            trials=60, seed=1,
+        )
+
+    def test_deviation_shrinks_with_n(self, sweep):
+        assert sweep.deviations[-1] < sweep.deviations[0]
+
+    def test_decay_exponent_near_clt(self, sweep):
+        """With trials averaging, the deviation scales like the standard
+        error of the mean tail fraction: between ~n^-0.3 and ~n^-0.8."""
+        assert 0.2 < sweep.decay_exponent < 1.0
+
+    def test_absolute_scale_small(self, sweep):
+        assert sweep.deviations[-1] < 0.01
+
+    def test_random_scheme_similar(self):
+        sweep_r = deviation_sweep(
+            FullyRandomChoices, 3, n_values=(128, 1024), trials=40, seed=2
+        )
+        assert sweep_r.deviations[-1] < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            deviation_sweep(DoubleHashingChoices, 3, n_values=(128,))
+        with pytest.raises(ConfigurationError):
+            deviation_sweep(DoubleHashingChoices, 3, n_values=(512, 128))

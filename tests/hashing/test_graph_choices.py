@@ -1,0 +1,86 @@
+"""Tests for graph-constrained choices (Kenthapadi–Panigrahy model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import simulate_batch
+from repro.errors import ConfigurationError
+from repro.hashing import FullyRandomChoices
+from repro.hashing.graph_choices import GraphChoices
+
+
+class TestStructure:
+    def test_choices_are_graph_edges(self, rng):
+        scheme = GraphChoices(64, 200, seed=1)
+        edge_set = {tuple(e) for e in scheme.edges.tolist()}
+        out = scheme.batch(500, rng)
+        for row in out:
+            assert tuple(row.tolist()) in edge_set
+
+    def test_endpoints_distinct(self, rng):
+        scheme = GraphChoices(32, 500, seed=2)
+        assert (scheme.edges[:, 0] != scheme.edges[:, 1]).all()
+
+    def test_d_is_two(self):
+        assert GraphChoices(16, 20, seed=3).d == 2
+
+    def test_mean_degree(self):
+        scheme = GraphChoices(100, 300, seed=4)
+        assert scheme.mean_degree == pytest.approx(6.0)
+
+    def test_graph_fixed_across_batches(self, rng, rng2):
+        scheme = GraphChoices(32, 50, seed=5)
+        a = {tuple(r) for r in scheme.batch(400, rng).tolist()}
+        b = {tuple(r) for r in scheme.batch(400, rng2).tolist()}
+        edge_set = {tuple(e) for e in scheme.edges.tolist()}
+        assert a <= edge_set and b <= edge_set
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GraphChoices(64, 0)
+        with pytest.raises(ConfigurationError):
+            GraphChoices(1, 10)
+
+
+class TestAllocationBehaviour:
+    def test_dense_graph_matches_free_two_choice(self):
+        """With degree ~ n the constraint is immaterial: load fractions
+        match unconstrained two-choice (the [19] dense regime)."""
+        n, trials = 1024, 40
+        dense = GraphChoices(n, 16 * n, seed=6)
+        constrained = simulate_batch(dense, n, trials, seed=7).distribution()
+        free = simulate_batch(
+            FullyRandomChoices(n, 2), n, trials, seed=8
+        ).distribution()
+        for load in range(3):
+            assert constrained.fraction_at(load) == pytest.approx(
+                free.fraction_at(load), abs=0.01
+            )
+
+    def test_sparse_graph_degrades(self):
+        """With constant degree the max load grows beyond the free
+        two-choice level — the [19] lower-bound phenomenon."""
+        n, trials = 1024, 20
+        sparse = GraphChoices(n, 2 * n, seed=9)  # mean degree 4
+        constrained = simulate_batch(sparse, n, trials, seed=10)
+        free = simulate_batch(FullyRandomChoices(n, 2), n, trials, seed=11)
+        assert (
+            constrained.loads.max(axis=1).mean()
+            >= free.loads.max(axis=1).mean()
+        )
+
+    def test_still_beats_one_choice(self):
+        """Even a sparse edge-constrained process balances far better than
+        one choice."""
+        from repro.core import simulate_one_choice
+
+        n, trials = 1024, 20
+        sparse = GraphChoices(n, 4 * n, seed=12)
+        constrained = simulate_batch(sparse, n, trials, seed=13)
+        one = simulate_one_choice(n, n, trials, seed=14)
+        assert (
+            constrained.loads.max(axis=1).mean()
+            < one.loads.max(axis=1).mean()
+        )

@@ -1,0 +1,110 @@
+"""Tests for the keyed hash families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hashing import MultiplyShiftHash, TabulationHash, UniversalModPrimeHash
+
+FAMILIES = [
+    lambda n, rng: UniversalModPrimeHash(n, rng),
+    lambda n, rng: MultiplyShiftHash(n, rng),
+    lambda n, rng: TabulationHash(n, rng),
+]
+FAMILY_IDS = ["universal", "multiply-shift", "tabulation"]
+
+
+@pytest.mark.parametrize("factory", FAMILIES, ids=FAMILY_IDS)
+class TestCommonBehaviour:
+    def test_scalar_in_range(self, factory, rng):
+        h = factory(64, rng)
+        for key in (0, 1, 12345, 2**31, 2**62):
+            assert 0 <= h(key) < 64
+
+    def test_vector_matches_scalar(self, factory, rng):
+        h = factory(64, rng)
+        keys = np.array([0, 1, 7, 99, 2**40 + 3], dtype=np.int64)
+        vec = h(keys)
+        assert list(vec) == [h(int(k)) for k in keys]
+
+    def test_deterministic(self, factory, rng):
+        h = factory(128, rng)
+        keys = np.arange(100, dtype=np.int64)
+        assert np.array_equal(h(keys), h(keys))
+
+    def test_different_instances_differ(self, factory):
+        h1 = factory(1024, np.random.default_rng(1))
+        h2 = factory(1024, np.random.default_rng(2))
+        keys = np.arange(200, dtype=np.int64)
+        assert not np.array_equal(h1(keys), h2(keys))
+
+    def test_output_distribution_roughly_uniform(self, factory, rng):
+        h = factory(16, rng)
+        keys = np.arange(32000, dtype=np.int64)
+        counts = np.bincount(np.asarray(h(keys)), minlength=16)
+        expected = 32000 / 16
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 80, f"chi2={chi2}"
+
+
+class TestMultiplyShift:
+    def test_requires_power_of_two(self, rng):
+        with pytest.raises(ConfigurationError):
+            MultiplyShiftHash(100, rng)
+
+    def test_multiplier_is_odd(self, rng):
+        assert MultiplyShiftHash(64, rng).a % 2 == 1
+
+    def test_range_one(self, rng):
+        h = MultiplyShiftHash(1, rng)
+        assert h(12345) == 0
+        assert (np.asarray(h(np.arange(10))) == 0).all()
+
+
+class TestUniversalModPrime:
+    def test_prime_exceeds_key_space(self, rng):
+        h = UniversalModPrimeHash(100, rng, key_bits=16)
+        assert h.p > 2**16
+
+    def test_collision_probability_universal(self, rng):
+        """2-universality: over random (a, b), Pr[h(x) = h(y)] <~ 1/n."""
+        n, pairs = 32, 400
+        collisions = 0
+        for i in range(pairs):
+            h = UniversalModPrimeHash(n, np.random.default_rng(i), key_bits=16)
+            if h(12345) == h(54321):
+                collisions += 1
+        # Expected ~ pairs / n = 12.5; allow a wide band.
+        assert collisions < 40
+
+    def test_rejects_empty_range(self, rng):
+        with pytest.raises(ConfigurationError):
+            UniversalModPrimeHash(0, rng)
+
+
+class TestTabulation:
+    def test_non_power_of_two_range(self, rng):
+        h = TabulationHash(100, rng)
+        keys = np.arange(5000, dtype=np.int64)
+        out = np.asarray(h(keys))
+        assert out.min() >= 0 and out.max() < 100
+
+    def test_xor_structure_three_independence_spot_check(self, rng):
+        """Keys differing in one byte land independently (spot check that
+        tabulation output changes when any single byte changes)."""
+        h = TabulationHash(2**16, rng)
+        base = 0x0102030405060708
+        outputs = {h(base)}
+        for byte in range(8):
+            outputs.add(h(base ^ (0xFF << (8 * byte))))
+        assert len(outputs) > 1
+
+    @given(key=st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_property_range(self, key):
+        h = TabulationHash(77, np.random.default_rng(3))
+        assert 0 <= h(key % 2**63) < 77

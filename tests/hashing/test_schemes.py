@@ -1,0 +1,201 @@
+"""Tests for the choice schemes: interface, geometry, distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SchemeError
+from repro.hashing import (
+    DoubleHashingChoices,
+    FullyRandomChoices,
+    PartitionedDoubleHashing,
+    PartitionedFullyRandom,
+    make_scheme,
+)
+
+ALL_SCHEMES = [
+    lambda n, d: FullyRandomChoices(n, d),
+    lambda n, d: FullyRandomChoices(n, d, replacement=True),
+    lambda n, d: DoubleHashingChoices(n, d),
+    lambda n, d: PartitionedFullyRandom(n, d),
+    lambda n, d: PartitionedDoubleHashing(n, d),
+]
+SCHEME_IDS = ["random", "random-replace", "double", "dleft-random", "dleft-double"]
+
+
+@pytest.mark.parametrize("factory", ALL_SCHEMES, ids=SCHEME_IDS)
+class TestCommonInterface:
+    def test_batch_shape_and_range(self, factory, rng):
+        scheme = factory(64, 4)
+        out = scheme.batch(100, rng)
+        assert out.shape == (100, 4)
+        assert out.dtype == np.int64
+        assert out.min() >= 0 and out.max() < 64
+
+    def test_single_shape(self, factory, rng):
+        scheme = factory(64, 4)
+        assert factory(64, 4).single(rng).shape == (4,)
+
+    def test_marginals_cover_all_bins(self, factory, rng):
+        scheme = factory(16, 4)
+        out = scheme.batch(4000, rng)
+        assert set(np.unique(out)) == set(range(16))
+
+    def test_describe_is_string(self, factory, rng):
+        assert isinstance(factory(64, 4).describe(), str)
+
+    def test_batches_are_random(self, factory, rng):
+        scheme = factory(256, 4)
+        a = scheme.batch(50, rng)
+        b = scheme.batch(50, rng)
+        assert not np.array_equal(a, b)
+
+
+class TestValidation:
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ConfigurationError):
+            FullyRandomChoices(0, 2)
+
+    def test_rejects_zero_choices(self):
+        with pytest.raises(ConfigurationError):
+            FullyRandomChoices(8, 0)
+
+    def test_rejects_d_above_n(self):
+        with pytest.raises(ConfigurationError):
+            DoubleHashingChoices(4, 5)
+
+    def test_partitioned_needs_divisibility(self):
+        with pytest.raises(SchemeError):
+            PartitionedFullyRandom(10, 4)
+
+    def test_make_scheme_registry(self):
+        assert isinstance(make_scheme("random", 16, 2), FullyRandomChoices)
+        assert isinstance(make_scheme("double", 16, 2), DoubleHashingChoices)
+        assert isinstance(
+            make_scheme("double-left", 16, 4), PartitionedDoubleHashing
+        )
+
+    def test_make_scheme_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            make_scheme("nope", 16, 2)
+
+
+class TestDistinctness:
+    @pytest.mark.parametrize("n", [16, 17, 64, 97])
+    def test_double_hashing_rows_distinct(self, n, rng):
+        scheme = DoubleHashingChoices(n, min(5, n))
+        out = scheme.batch(2000, rng)
+        for row in out:
+            assert len(set(row.tolist())) == scheme.d
+
+    def test_fully_random_without_replacement_distinct(self, rng):
+        out = FullyRandomChoices(8, 5).batch(3000, rng)
+        for row in out:
+            assert len(set(row.tolist())) == 5
+
+    def test_with_replacement_allows_repeats(self, rng):
+        out = FullyRandomChoices(4, 3, replacement=True).batch(2000, rng)
+        has_repeat = any(len(set(r.tolist())) < 3 for r in out)
+        assert has_repeat
+
+    def test_distinct_flags(self):
+        assert DoubleHashingChoices(16, 3).distinct
+        assert FullyRandomChoices(16, 3).distinct
+        assert not FullyRandomChoices(16, 3, replacement=True).distinct
+        assert PartitionedDoubleHashing(16, 4).distinct
+
+
+class TestDoubleHashingStructure:
+    def test_choices_form_arithmetic_progression(self, rng):
+        scheme = DoubleHashingChoices(97, 5)
+        out = scheme.batch(500, rng)
+        gaps = (out[:, 1:] - out[:, :-1]) % 97
+        # All consecutive gaps within a row equal the stride g.
+        assert (gaps == gaps[:, :1]).all()
+
+    def test_stride_is_unit(self, rng):
+        scheme = DoubleHashingChoices(24, 4)
+        _, _, g = scheme.batch_with_hashes(800, rng)
+        assert np.all(np.gcd(g, 24) == 1)
+
+    def test_power_of_two_strides_odd(self, rng):
+        scheme = DoubleHashingChoices(64, 4)
+        _, _, g = scheme.batch_with_hashes(800, rng)
+        assert (g % 2 == 1).all()
+
+    def test_batch_with_hashes_consistent(self, rng):
+        scheme = DoubleHashingChoices(31, 4)
+        choices, f, g = scheme.batch_with_hashes(200, rng)
+        ks = np.arange(4)
+        assert np.array_equal(choices, (f[:, None] + g[:, None] * ks) % 31)
+
+    def test_single_bin_table(self, rng):
+        scheme = DoubleHashingChoices(1, 1)
+        assert (scheme.batch(10, rng) == 0).all()
+
+
+class TestPartitionedStructure:
+    @pytest.mark.parametrize("cls", [PartitionedFullyRandom, PartitionedDoubleHashing])
+    def test_column_k_in_subtable_k(self, cls, rng):
+        scheme = cls(64, 4)
+        out = scheme.batch(1000, rng)
+        for k in range(4):
+            assert (out[:, k] >= 16 * k).all()
+            assert (out[:, k] < 16 * (k + 1)).all()
+
+    def test_subtable_size_one(self, rng):
+        scheme = PartitionedDoubleHashing(4, 4)
+        out = scheme.batch(10, rng)
+        assert np.array_equal(out, np.tile([0, 1, 2, 3], (10, 1)))
+
+    def test_partitioned_double_progression_within_subtables(self, rng):
+        scheme = PartitionedDoubleHashing(40, 4)  # subtables of 10
+        out = scheme.batch(500, rng)
+        local = out - np.arange(4) * 10
+        gaps = (local[:, 1:] - local[:, :-1]) % 10
+        assert (gaps == gaps[:, :1]).all()
+
+
+class TestUniformityStatistics:
+    @pytest.mark.parametrize("factory", ALL_SCHEMES, ids=SCHEME_IDS)
+    def test_overall_marginal_uniform(self, factory, rng):
+        n, d, samples = 20, 4, 30000
+        scheme = factory(n, d)
+        out = scheme.batch(samples, rng)
+        counts = np.bincount(out.ravel(), minlength=n)
+        expected = samples * d / n
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        # chi2_{0.9995, df=19} ~ 46; generous to keep flake rate ~0.
+        assert chi2 < 55, f"chi2={chi2}, counts={counts}"
+
+
+@given(
+    n_exp=st.integers(min_value=2, max_value=8),
+    d=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_double_hashing_rows_distinct_any_geometry(n_exp, d, seed):
+    """Double-hashed choices are distinct for every n, d <= n (unit stride)."""
+    n = 2**n_exp
+    if d > n:
+        return
+    scheme = DoubleHashingChoices(n, d)
+    out = scheme.batch(50, np.random.default_rng(seed))
+    for row in out:
+        assert len(set(row.tolist())) == d
+
+
+@given(
+    n=st.integers(min_value=3, max_value=300),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_arbitrary_modulus_strides_are_units(n, seed):
+    """For arbitrary (possibly composite) n, sampled strides are coprime."""
+    scheme = DoubleHashingChoices(n, min(3, n))
+    _, _, g = scheme.batch_with_hashes(40, np.random.default_rng(seed))
+    assert np.all(np.gcd(g, n) == 1)

@@ -1,0 +1,117 @@
+"""Tests for factorization, Euler's totient, and unit sampling."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numtheory import (
+    count_units,
+    euler_phi,
+    factorize,
+    is_unit,
+    sample_units,
+    units_mod,
+)
+
+
+class TestFactorize:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (1, {}),
+            (2, {2: 1}),
+            (360, {2: 3, 3: 2, 5: 1}),
+            (2**14, {2: 14}),
+            (16411, {16411: 1}),
+            (1000003 * 1000033, {1000003: 1, 1000033: 1}),
+        ],
+    )
+    def test_known_factorizations(self, n, expected):
+        assert factorize(n) == expected
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    @settings(max_examples=200, deadline=None)
+    def test_product_of_factors_reconstructs(self, n):
+        product = 1
+        for p, e in factorize(n).items():
+            product *= p**e
+        assert product == n
+
+
+class TestEulerPhi:
+    def test_small_values_by_enumeration(self):
+        for n in range(1, 200):
+            brute = sum(1 for g in range(1, n + 1) if math.gcd(g, n) == 1)
+            assert euler_phi(n) == brute, f"phi({n})"
+
+    def test_power_of_two(self):
+        assert euler_phi(2**14) == 2**13
+
+    def test_prime(self):
+        assert euler_phi(16411) == 16410
+
+    def test_multiplicative_on_coprimes(self):
+        assert euler_phi(7 * 16) == euler_phi(7) * euler_phi(16)
+
+    def test_count_units_alias(self):
+        assert count_units(360) == euler_phi(360)
+
+
+class TestUnits:
+    def test_is_unit_basic(self):
+        assert is_unit(3, 10)
+        assert not is_unit(5, 10)
+        assert is_unit(1, 2)
+
+    def test_is_unit_reduces_mod_n(self):
+        assert is_unit(13, 10)  # 13 mod 10 = 3
+
+    def test_units_mod_prime_is_everything(self):
+        units = units_mod(13)
+        assert list(units) == list(range(1, 13))
+
+    def test_units_mod_power_of_two_is_odds(self):
+        units = units_mod(16)
+        assert list(units) == [1, 3, 5, 7, 9, 11, 13, 15]
+
+    def test_units_mod_count_matches_phi(self):
+        for n in (12, 30, 100, 128):
+            assert len(units_mod(n)) == euler_phi(n)
+
+
+class TestSampleUnits:
+    @pytest.mark.parametrize("n", [2, 16, 1024, 13, 16411, 12, 360, 1000])
+    def test_samples_are_units(self, n, rng):
+        out = sample_units(n, 500, rng)
+        assert np.all(np.gcd(out, n) == 1)
+        assert out.min() >= 1 and out.max() < max(n, 2)
+
+    def test_shape_tuple(self, rng):
+        out = sample_units(64, (3, 5), rng)
+        assert out.shape == (3, 5)
+
+    def test_modulus_two_always_one(self, rng):
+        assert (sample_units(2, 20, rng) == 1).all()
+
+    def test_uniform_over_units_chi2(self, rng):
+        n = 12  # units: 1, 5, 7, 11
+        out = sample_units(n, 8000, rng)
+        counts = np.bincount(out, minlength=n)
+        units = [1, 5, 7, 11]
+        observed = counts[units]
+        expected = 8000 / 4
+        chi2 = float(((observed - expected) ** 2 / expected).sum())
+        assert chi2 < 16.27  # chi2_{0.999, df=3}
+
+    def test_rejects_tiny_modulus(self, rng):
+        with pytest.raises(ValueError):
+            sample_units(1, 5, rng)

@@ -1,0 +1,173 @@
+"""Cross-module property-based tests of the library's core invariants.
+
+These hypothesis suites randomize over geometry, scheme, and seed
+simultaneously — the invariants here are the ones every module must
+preserve regardless of configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.majorization import majorizes
+from repro.core import simulate_batch, simulate_single_trial
+from repro.hashing import (
+    BlockChoices,
+    DoubleHashingChoices,
+    FullyRandomChoices,
+    PartitionedDoubleHashing,
+    PartitionedFullyRandom,
+)
+from repro.types import TrialBatchResult
+
+# -- scheme strategy ---------------------------------------------------------
+
+
+def _make_scheme(kind: str, n: int, d: int):
+    if kind == "random":
+        return FullyRandomChoices(n, d)
+    if kind == "random-replace":
+        return FullyRandomChoices(n, d, replacement=True)
+    if kind == "double":
+        return DoubleHashingChoices(n, d)
+    if kind == "blocks":
+        return BlockChoices(n, d if d % 2 == 0 else d + 1)
+    if kind == "dleft-random":
+        return PartitionedFullyRandom(n - n % d, d)
+    return PartitionedDoubleHashing(n - n % d, d)
+
+
+scheme_kinds = st.sampled_from(
+    ["random", "random-replace", "double", "blocks", "dleft-random",
+     "dleft-double"]
+)
+
+
+@given(
+    kind=scheme_kinds,
+    n=st.integers(min_value=8, max_value=128),
+    d=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=80, deadline=None)
+def test_schemes_emit_valid_choices(kind, n, d, seed):
+    """Every scheme: shape (trials, d), values in range, randomness seeded."""
+    scheme = _make_scheme(kind, n, d)
+    rng = np.random.default_rng(seed)
+    out = scheme.batch(37, rng)
+    assert out.shape == (37, scheme.d)
+    assert out.min() >= 0
+    assert out.max() < scheme.n_bins
+
+
+@given(
+    kind=scheme_kinds,
+    n=st.integers(min_value=8, max_value=96),
+    d=st.integers(min_value=2, max_value=4),
+    m_factor=st.floats(min_value=0.2, max_value=2.5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_engine_conservation_all_schemes(kind, n, d, m_factor, seed):
+    """Ball conservation for every scheme / geometry / tie rule."""
+    scheme = _make_scheme(kind, n, d)
+    m = int(m_factor * scheme.n_bins)
+    tie = "left" if kind.startswith("dleft") else "random"
+    batch = simulate_batch(
+        scheme, m, trials=3, seed=seed, tie_break=tie, check_invariants=True
+    )
+    assert (batch.loads.sum(axis=1) == m).all()
+    assert (batch.loads >= 0).all()
+
+
+@given(
+    n=st.integers(min_value=8, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_reference_engine_max_load_monotone_in_d(n, seed):
+    """More choices never hurt (in expectation); we check the weak sorted
+    -vector form: the d=4 load vector is majorized by the d=2 vector when
+    coupled through the same seed is too strong, so compare max loads
+    statistically across several seeds inside one example."""
+    maxes = {}
+    for d in (1, 4):
+        loads = simulate_single_trial(
+            FullyRandomChoices(n, d), 3 * n, seed=seed, return_loads=True
+        )
+        maxes[d] = int(loads.max())
+    # d=4 can tie but should never exceed d=1 by more than a small margin
+    # (generous to keep the property deterministic-flake-free).
+    assert maxes[4] <= maxes[1] + 2
+
+
+@given(
+    counts=st.lists(
+        st.integers(min_value=0, max_value=50), min_size=2, max_size=6
+    ),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_distribution_identities(counts, seed):
+    """LoadDistribution: fractions sum to 1; tails are a valid survival
+    function; fraction = tail difference."""
+    assume(sum(counts) > 0)
+    from repro.types import LoadDistribution
+
+    dist = LoadDistribution(
+        n_bins=sum(counts),
+        n_balls=1,
+        trials=1,
+        counts=np.array(counts),
+        max_load_per_trial=np.array([len(counts) - 1]),
+    )
+    fr = dist.fractions
+    tails = dist.tail_fractions
+    assert fr.sum() == pytest.approx(1.0)
+    assert tails[0] == pytest.approx(1.0)
+    assert (np.diff(tails) <= 1e-12).all()
+    for i in range(len(fr) - 1):
+        assert fr[i] == pytest.approx(tails[i] - tails[i + 1])
+
+
+@given(
+    x=st.lists(st.integers(min_value=0, max_value=9), min_size=2, max_size=7),
+    moves=st.lists(st.integers(min_value=0, max_value=6), max_size=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_majorization_transfer_property(x, moves):
+    """Robin-Hood transfers (move one unit from a max coordinate to a min
+    coordinate) always produce a majorized vector — the defining property
+    the coupling argument leans on (Lemma 1's contrapositive direction)."""
+    y = list(x)
+    for _ in moves:
+        hi = y.index(max(y))
+        lo = y.index(min(y))
+        if y[hi] - y[lo] >= 2:
+            y[hi] -= 1
+            y[lo] += 1
+    assert majorizes(x, y)
+
+
+@given(
+    loads=st.lists(
+        st.lists(st.integers(min_value=0, max_value=6), min_size=4,
+                 max_size=4),
+        min_size=1,
+        max_size=6,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_batch_result_histogram_consistency(loads):
+    """TrialBatchResult: distribution counts equal per-trial bincounts."""
+    arr = np.array(loads)
+    batch = TrialBatchResult(
+        n_bins=4, n_balls=int(arr[0].sum()), loads=arr
+    )
+    dist = batch.distribution()
+    assert dist.counts.sum() == arr.size
+    manual = np.bincount(arr.ravel())
+    assert np.array_equal(dist.counts[: len(manual)], manual)

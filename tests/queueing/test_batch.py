@@ -1,0 +1,68 @@
+"""Tests for the multi-run queueing experiment protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fluid import equilibrium_mean_sojourn_time
+from repro.hashing import FullyRandomChoices
+from repro.queueing import run_queueing_experiment
+
+
+class TestRunQueueingExperiment:
+    def test_aggregates_runs(self):
+        exp = run_queueing_experiment(
+            FullyRandomChoices(128, 2), 0.7,
+            runs=4, sim_time=80.0, burn_in=20.0, seed=1,
+        )
+        assert exp.runs == 4
+        assert len(exp.per_run) == 4
+        assert exp.mean_sojourn_time == pytest.approx(
+            float(exp.per_run.mean())
+        )
+        assert exp.std_between_runs > 0
+
+    def test_ci_brackets_mean(self):
+        exp = run_queueing_experiment(
+            FullyRandomChoices(128, 2), 0.7,
+            runs=4, sim_time=80.0, burn_in=20.0, seed=2,
+        )
+        low, high = exp.confidence_interval()
+        assert low < exp.mean_sojourn_time < high
+
+    def test_mean_near_equilibrium(self):
+        exp = run_queueing_experiment(
+            FullyRandomChoices(256, 3), 0.9,
+            runs=3, sim_time=200.0, burn_in=40.0, seed=3,
+        )
+        assert exp.mean_sojourn_time == pytest.approx(
+            equilibrium_mean_sojourn_time(0.9, 3), rel=0.08
+        )
+
+    def test_reproducible(self):
+        kwargs = dict(runs=3, sim_time=50.0, burn_in=10.0, seed=4)
+        a = run_queueing_experiment(FullyRandomChoices(64, 2), 0.6, **kwargs)
+        b = run_queueing_experiment(FullyRandomChoices(64, 2), 0.6, **kwargs)
+        assert (a.per_run == b.per_run).all()
+
+    def test_parallel_matches_serial(self):
+        kwargs = dict(runs=4, sim_time=40.0, burn_in=10.0, seed=5)
+        serial = run_queueing_experiment(
+            FullyRandomChoices(64, 2), 0.6, workers=1, **kwargs
+        )
+        parallel = run_queueing_experiment(
+            FullyRandomChoices(64, 2), 0.6, workers=2, **kwargs
+        )
+        assert (serial.per_run == parallel.per_run).all()
+
+    def test_single_run_zero_std(self):
+        exp = run_queueing_experiment(
+            FullyRandomChoices(64, 2), 0.5,
+            runs=1, sim_time=30.0, burn_in=5.0, seed=6,
+        )
+        assert exp.std_between_runs == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_queueing_experiment(FullyRandomChoices(64, 2), 0.5, runs=0)

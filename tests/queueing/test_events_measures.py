@@ -1,0 +1,145 @@
+"""Tests for the queueing support structures (IndexedSet, accumulators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.events import IndexedSet
+from repro.queueing.measures import SojournAccumulator
+
+
+class TestIndexedSet:
+    def test_add_contains_len(self):
+        s = IndexedSet(10)
+        s.add(3)
+        s.add(7)
+        assert len(s) == 2
+        assert 3 in s and 7 in s and 5 not in s
+
+    def test_add_idempotent(self):
+        s = IndexedSet(10)
+        s.add(4)
+        s.add(4)
+        assert len(s) == 1
+
+    def test_remove(self):
+        s = IndexedSet(10)
+        for x in (1, 2, 3):
+            s.add(x)
+        s.remove(2)
+        assert len(s) == 2
+        assert 2 not in s and 1 in s and 3 in s
+
+    def test_remove_absent_raises(self):
+        s = IndexedSet(10)
+        with pytest.raises(KeyError):
+            s.remove(5)
+
+    def test_swap_remove_keeps_members(self):
+        s = IndexedSet(10)
+        for x in range(8):
+            s.add(x)
+        s.remove(0)  # forces a swap with the last element
+        assert sorted(s.to_array().tolist()) == list(range(1, 8))
+
+    def test_sample_uniform(self, rng):
+        s = IndexedSet(8)
+        for x in (0, 3, 6):
+            s.add(x)
+        counts = {0: 0, 3: 0, 6: 0}
+        for _ in range(6000):
+            counts[s.sample(rng)] += 1
+        for c in counts.values():
+            assert 1700 < c < 2300
+
+    def test_sample_empty_raises(self, rng):
+        with pytest.raises(IndexError):
+            IndexedSet(4).sample(rng)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            IndexedSet(-1)
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=19)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_python_set(self, ops):
+        s = IndexedSet(20)
+        model: set[int] = set()
+        for is_add, x in ops:
+            if is_add:
+                s.add(x)
+                model.add(x)
+            elif x in model:
+                s.remove(x)
+                model.remove(x)
+        assert len(s) == len(model)
+        assert set(s.to_array().tolist()) == model
+
+
+class TestSojournAccumulator:
+    def test_mean_of_known_values(self):
+        acc = SojournAccumulator()
+        acc.observe_sojourn(0.0, 2.0)
+        acc.observe_sojourn(1.0, 2.0)
+        acc.observe_sojourn(2.0, 5.0)
+        assert acc.mean == pytest.approx(2.0)
+        assert acc.count == 3
+
+    def test_burn_in_excludes_early_arrivals(self):
+        acc = SojournAccumulator(burn_in=10.0)
+        acc.observe_sojourn(5.0, 50.0)  # arrived during burn-in: ignored
+        acc.observe_sojourn(11.0, 12.0)
+        assert acc.count == 1
+        assert acc.mean == pytest.approx(1.0)
+
+    def test_negative_sojourn_rejected(self):
+        with pytest.raises(ValueError):
+            SojournAccumulator().observe_sojourn(5.0, 4.0)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            _ = SojournAccumulator().mean
+
+    def test_variance_matches_numpy(self):
+        values = [1.0, 4.0, 4.0, 9.0, 2.5]
+        acc = SojournAccumulator()
+        for v in values:
+            acc.observe_sojourn(0.0, v)
+        assert acc.variance == pytest.approx(float(np.var(values, ddof=1)))
+
+    def test_confidence_interval_brackets_mean(self):
+        acc = SojournAccumulator()
+        gen = np.random.default_rng(1)
+        for v in gen.exponential(2.0, 500):
+            acc.observe_sojourn(0.0, float(v))
+        low, high = acc.confidence_interval()
+        assert low < acc.mean < high
+        assert low < 2.0 < high  # true mean within the CI (w.h.p.)
+
+    def test_population_time_average(self):
+        acc = SojournAccumulator(burn_in=0.0)
+        acc.observe_population(1.0, 2)   # 2 jobs on [1, 3)
+        acc.observe_population(3.0, 4)   # 4 jobs on [3, 5)
+        # [0,1): 0 jobs, then as above; query at t=5.
+        avg = acc.mean_total_jobs(5.0)
+        assert avg == pytest.approx((0 * 1 + 2 * 2 + 4 * 2) / 5.0)
+
+    def test_population_burn_in_window(self):
+        acc = SojournAccumulator(burn_in=2.0)
+        acc.observe_population(1.0, 10)  # partially inside burn-in
+        acc.observe_population(3.0, 0)   # 10 jobs counted only on [2, 3)
+        avg = acc.mean_total_jobs(4.0)
+        assert avg == pytest.approx(10 * 1.0 / 2.0)
+
+    def test_population_final_time_validation(self):
+        acc = SojournAccumulator(burn_in=5.0)
+        with pytest.raises(ValueError):
+            acc.mean_total_jobs(4.0)

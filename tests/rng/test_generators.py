@@ -1,0 +1,113 @@
+"""Tests for SplitMix64, xorshift128+, and PCG32.
+
+SplitMix64 and PCG32 are checked against published reference vectors
+(Steele et al.'s splitmix64.c outputs for seed 0; O'Neill's pcg32-demo
+output for seed (42, 54)).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rng import PCG32, Drand48, SplitMix64, Xorshift128Plus
+from repro.rng.splitmix import splitmix64_mix
+
+# Reference outputs of splitmix64.c with state = 0.
+SPLITMIX_SEED0 = [0xE220A8397B1DCDAF, 0x6E789E6AA1B965F4, 0x06C45D188009454F]
+
+# Reference outputs of O'Neill's pcg32-global-demo, seeded (42, 54).
+PCG32_DEMO = [0xA15C02B7, 0x7B47F409, 0xBA1D3330, 0x83D2F293, 0xBFA4784B, 0xCBED606E]
+
+
+class TestSplitMix64:
+    def test_reference_vector(self):
+        gen = SplitMix64(0)
+        assert [gen.next_u64() for _ in range(3)] == SPLITMIX_SEED0
+
+    def test_mix_is_bijective_sample(self):
+        outputs = {splitmix64_mix(i) for i in range(10000)}
+        assert len(outputs) == 10000
+
+    def test_seed_reduced_mod_2_64(self):
+        assert SplitMix64(2**64 + 5).state == SplitMix64(5).state
+
+    def test_distinct_seeds_distinct_streams(self):
+        a = [SplitMix64(1).next_u64() for _ in range(1)]
+        b = [SplitMix64(2).next_u64() for _ in range(1)]
+        assert a != b
+
+
+class TestPCG32:
+    def test_reference_vector(self):
+        gen = PCG32(42, 54)
+        assert [gen.next_u32() for _ in range(6)] == PCG32_DEMO
+
+    def test_streams_differ(self):
+        a = PCG32(7, 1)
+        b = PCG32(7, 2)
+        assert [a.next_u32() for _ in range(4)] != [b.next_u32() for _ in range(4)]
+
+    def test_next_u64_combines_two_words(self):
+        a, b = PCG32(9, 3), PCG32(9, 3)
+        hi, lo = b.next_u32(), b.next_u32()
+        assert a.next_u64() == (hi << 32) | lo
+
+    def test_output_range(self):
+        gen = PCG32(1)
+        assert all(0 <= gen.next_u32() < 2**32 for _ in range(1000))
+
+
+class TestXorshift128Plus:
+    def test_deterministic(self):
+        a = [Xorshift128Plus(5).next_u64() for _ in range(1)]
+        b = [Xorshift128Plus(5).next_u64() for _ in range(1)]
+        assert a == b
+
+    def test_nonzero_state(self):
+        gen = Xorshift128Plus(0)
+        s0, s1 = gen.state
+        assert (s0, s1) != (0, 0)
+
+    def test_output_range(self):
+        gen = Xorshift128Plus(3)
+        assert all(0 <= gen.next_u64() < 2**64 for _ in range(1000))
+
+    def test_no_short_cycle(self):
+        gen = Xorshift128Plus(1)
+        seen = [gen.next_u64() for _ in range(5000)]
+        assert len(set(seen)) == 5000
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [lambda: Drand48(4), lambda: SplitMix64(4), lambda: Xorshift128Plus(4),
+     lambda: PCG32(4)],
+    ids=["drand48", "splitmix", "xorshift", "pcg32"],
+)
+class TestSharedProtocol:
+    def test_random_in_unit_interval(self, factory):
+        gen = factory()
+        values = [gen.random() for _ in range(2000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_random_mean(self, factory):
+        gen = factory()
+        mean = sum(gen.random() for _ in range(20000)) / 20000
+        assert abs(mean - 0.5) < 0.02
+
+    def test_integers_uniformity(self, factory):
+        gen = factory()
+        counts = [0] * 8
+        for _ in range(8000):
+            counts[gen.integers(0, 8)] += 1
+        assert min(counts) > 800  # each cell near 1000
+
+    def test_integers_array_shape(self, factory):
+        out = factory().integers_array(0, 50, 64)
+        assert out.shape == (64,)
+        assert out.min() >= 0 and out.max() < 50
+
+    def test_random_array_shape(self, factory):
+        out = factory().random_array(32)
+        assert out.shape == (32,)
+        assert (out >= 0).all() and (out < 1).all()

@@ -1,0 +1,44 @@
+"""Run the library's module doctests.
+
+The docstring examples double as documentation; this keeps them honest.
+Modules with expensive or stochastic examples are exercised elsewhere —
+the list here is the set of modules whose doctests are deterministic.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.analysis.dleft_bound
+import repro.analysis.layered_induction
+import repro.analysis.witness_tree
+import repro.fluid.supermarket
+import repro.numtheory.primes
+import repro.numtheory.totient
+import repro.parallel.pool
+import repro.peeling.density_evolution
+import repro.rng.drand48
+
+DOCTEST_MODULES = [
+    repro.analysis.dleft_bound,
+    repro.analysis.layered_induction,
+    repro.analysis.witness_tree,
+    repro.fluid.supermarket,
+    repro.numtheory.primes,
+    repro.numtheory.totient,
+    repro.parallel.pool,
+    repro.peeling.density_evolution,
+    repro.rng.drand48,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCTEST_MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    # Every listed module should actually contain at least one example.
+    assert results.attempted > 0, f"{module.__name__} has no doctests"

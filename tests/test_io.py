@@ -1,0 +1,93 @@
+"""Tests for JSON serialization of results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import simulate_batch
+from repro.hashing import DoubleHashingChoices, FullyRandomChoices
+from repro.io import (
+    distribution_from_dict,
+    distribution_to_dict,
+    load_json,
+    queueing_result_from_dict,
+    queueing_result_to_dict,
+    save_json,
+)
+from repro.queueing import simulate_supermarket
+from repro.types import QueueingResult
+
+
+class TestDistributionRoundTrip:
+    def test_exact_round_trip(self):
+        dist = simulate_batch(
+            DoubleHashingChoices(64, 3), 64, 10, seed=1
+        ).distribution()
+        restored = distribution_from_dict(distribution_to_dict(dist))
+        assert restored.n_bins == dist.n_bins
+        assert restored.trials == dist.trials
+        assert np.array_equal(restored.counts, dist.counts)
+        assert np.array_equal(
+            restored.max_load_per_trial, dist.max_load_per_trial
+        )
+
+    def test_derived_quantities_survive(self):
+        dist = simulate_batch(
+            FullyRandomChoices(32, 2), 32, 5, seed=2
+        ).distribution()
+        restored = distribution_from_dict(distribution_to_dict(dist))
+        assert restored.fraction_at(1) == dist.fraction_at(1)
+        assert restored.max_load == dist.max_load
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="LoadDistribution"):
+            distribution_from_dict({"kind": "Other"})
+
+
+class TestQueueingRoundTrip:
+    def test_round_trip_with_tails(self):
+        res = simulate_supermarket(
+            FullyRandomChoices(64, 2), 0.5, 40.0, seed=3, track_tails=True
+        )
+        restored = queueing_result_from_dict(queueing_result_to_dict(res))
+        assert restored.mean_sojourn_time == res.mean_sojourn_time
+        assert restored.completed_jobs == res.completed_jobs
+        assert np.allclose(restored.tail_fractions, res.tail_fractions)
+
+    def test_round_trip_without_tails(self):
+        res = QueueingResult(
+            mean_sojourn_time=2.0,
+            completed_jobs=100,
+            mean_queue_length=1.5,
+            sim_time=10.0,
+        )
+        restored = queueing_result_from_dict(queueing_result_to_dict(res))
+        assert restored.tail_fractions is None
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="QueueingResult"):
+            queueing_result_from_dict({"kind": "LoadDistribution"})
+
+
+class TestFileIO:
+    def test_save_load_file(self, tmp_path):
+        dist = simulate_batch(
+            DoubleHashingChoices(16, 2), 16, 3, seed=4
+        ).distribution()
+        path = tmp_path / "dist.json"
+        save_json(distribution_to_dict(dist), path)
+        restored = distribution_from_dict(load_json(path))
+        assert np.array_equal(restored.counts, dist.counts)
+
+    def test_numpy_scalars_encoded(self, tmp_path):
+        path = tmp_path / "scalars.json"
+        save_json(
+            {"a": np.int64(5), "b": np.float64(1.5), "c": np.arange(3)}, path
+        )
+        data = load_json(path)
+        assert data == {"a": 5, "b": 1.5, "c": [0, 1, 2]}
+
+    def test_unencodable_raises(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_json({"f": object()}, tmp_path / "bad.json")

@@ -1,0 +1,36 @@
+"""Tests for the built-in self-validation suite."""
+
+from __future__ import annotations
+
+from repro.validation import VALIDATION_CHECKS, run_validation
+
+
+class TestValidationSuite:
+    def test_all_checks_pass(self, capsys):
+        assert run_validation(verbose=True)
+        out = capsys.readouterr().out
+        assert "FAIL" not in out
+        assert out.count("PASS") == len(VALIDATION_CHECKS)
+
+    def test_check_inventory(self):
+        names = {c.name for c in VALIDATION_CHECKS}
+        assert {
+            "fluid-table2",
+            "queueing-equilibrium",
+            "indistinguishable",
+            "majorization",
+            "dleft-fluid",
+            "witness-bound",
+            "peeling-threshold",
+            "queueing-simulation",
+        } <= names
+
+    def test_quiet_mode(self, capsys):
+        assert run_validation(verbose=False)
+        assert capsys.readouterr().out == ""
+
+    def test_each_check_returns_detail(self):
+        for check in VALIDATION_CHECKS:
+            ok, detail = check.run()
+            assert isinstance(ok, (bool,)) or ok in (True, False)
+            assert isinstance(detail, str) and detail
