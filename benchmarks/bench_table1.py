@@ -16,11 +16,11 @@ PAPER_D4 = {0: 0.14081, 1: 0.71840, 2: 0.14077}
 
 
 @pytest.mark.parametrize("d,paper", [(3, PAPER_D3), (4, PAPER_D4)], ids=["d3", "d4"])
-def bench_table1(benchmark, scale, attach, d, paper):
+def bench_table1(benchmark, scale, attach, track_chunks, d, paper):
     table = benchmark.pedantic(
         table1_load_fractions,
-        args=(d,),
-        kwargs=dict(n=scale.n, trials=scale.trials, seed=scale.seed),
+        args=(scale.spec(d=d),),
+        kwargs=dict(progress=track_chunks),
         rounds=1,
         iterations=1,
     )

@@ -13,10 +13,11 @@ from repro.experiments import table2_fluid_vs_simulation
 PAPER = {1: 0.8231, 2: 0.1765, 3: 0.00051}
 
 
-def bench_table2(benchmark, scale, attach):
+def bench_table2(benchmark, scale, attach, track_chunks):
     table = benchmark.pedantic(
         table2_fluid_vs_simulation,
-        kwargs=dict(n=scale.n, trials=scale.trials, seed=scale.seed),
+        args=(scale.spec(d=3),),
+        kwargs=dict(progress=track_chunks),
         rounds=1,
         iterations=1,
     )

@@ -15,12 +15,12 @@ from repro.experiments import table3_larger_n
 LIMIT_D3 = {0: 0.17696, 1: 0.64659, 2: 0.17594, 3: 0.00051}
 
 
-def bench_table3(benchmark, scale, attach):
+def bench_table3(benchmark, scale, attach, track_chunks):
+    spec = scale.spec(d=3, log2_n=14, trials=max(scale.trials // 2, 10))
     table = benchmark.pedantic(
         table3_larger_n,
-        args=(3,),
-        kwargs=dict(log2_n=14, trials=max(scale.trials // 2, 10),
-                    seed=scale.seed),
+        args=(spec,),
+        kwargs=dict(progress=track_chunks),
         rounds=1,
         iterations=1,
     )

@@ -15,14 +15,14 @@ from repro.experiments import table4_max_load
 PAPER_D3 = {10: 39.78, 11: 64.71, 12: 86.90, 13: 98.37}
 
 
-def bench_table4(benchmark, scale, attach):
+def bench_table4(benchmark, scale, attach, track_chunks):
+    spec = scale.spec(d=3, trials=scale.trials * 2)
     table = benchmark.pedantic(
         table4_max_load,
-        args=(3,),
+        args=(spec,),
         kwargs=dict(
             log2_n_values=(10, 11, 12, 13),
-            trials=scale.trials * 2,
-            seed=scale.seed,
+            progress=track_chunks,
         ),
         rounds=1,
         iterations=1,

@@ -16,11 +16,12 @@ from repro.experiments import table5_level_stats
 LIMIT_D4 = {0: 0.14082, 1: 0.71838, 2: 0.14077}
 
 
-def bench_table5(benchmark, scale, attach):
+def bench_table5(benchmark, scale, attach, track_chunks):
+    spec = scale.spec(d=4, trials=max(scale.trials // 2, 10))
     table = benchmark.pedantic(
         table5_level_stats,
-        kwargs=dict(n=scale.n, d=4, trials=max(scale.trials // 2, 10),
-                    seed=scale.seed),
+        args=(spec,),
+        kwargs=dict(progress=track_chunks),
         rounds=1,
         iterations=1,
     )

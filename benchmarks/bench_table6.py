@@ -15,13 +15,13 @@ from repro.experiments import table6_heavy_load
 PAPER_D3 = {14: 0.01254, 15: 0.16885, 16: 0.62220, 17: 0.19482}
 
 
-def bench_table6(benchmark, scale, attach):
-    n = scale.n // 4  # 16x the balls: shrink bins to keep runtime bounded
+def bench_table6(benchmark, scale, attach, track_chunks):
+    # 16x the balls: shrink bins to keep runtime bounded.
+    spec = scale.spec(d=3, n=scale.n // 4, trials=max(scale.trials // 5, 5))
     table = benchmark.pedantic(
         table6_heavy_load,
-        args=(3,),
-        kwargs=dict(n=n, balls_per_bin=16, trials=max(scale.trials // 5, 5),
-                    seed=scale.seed),
+        args=(spec,),
+        kwargs=dict(balls_per_bin=16, progress=track_chunks),
         rounds=1,
         iterations=1,
     )

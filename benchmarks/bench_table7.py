@@ -17,7 +17,7 @@ PAPER = {0: 0.12421, 1: 0.75159, 2: 0.12421}
 def bench_table7(benchmark, scale, attach):
     table = benchmark.pedantic(
         table7_dleft,
-        kwargs=dict(n=scale.n, d=4, trials=scale.trials, seed=scale.seed),
+        args=(scale.spec(d=4),),
         rounds=1,
         iterations=1,
     )

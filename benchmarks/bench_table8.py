@@ -19,14 +19,8 @@ PAPER = {(0.9, 3): 2.02805, (0.9, 4): 1.77788}
 def bench_table8(benchmark, scale, attach):
     table = benchmark.pedantic(
         table8_queueing,
-        kwargs=dict(
-            n=scale.queue_n,
-            lambdas=(0.9,),
-            d_values=(3, 4),
-            sim_time=scale.queue_time,
-            burn_in=scale.queue_burn_in,
-            seed=scale.seed,
-        ),
+        args=(scale.queue_spec(),),
+        kwargs=dict(lambdas=(0.9,), d_values=(3, 4)),
         rounds=1,
         iterations=1,
     )

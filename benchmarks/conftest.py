@@ -8,6 +8,11 @@ experiment record.
 
 Scales are chosen so the full harness completes in a few minutes.  To run
 closer to paper scale, raise the constants in ``BenchScale``.
+
+Benchmarks build :class:`repro.ExperimentSpec` instances via
+``BenchScale.spec`` / ``BenchScale.queue_spec`` and consume the engine's
+progress hook through the ``track_chunks`` fixture, which folds per-chunk
+wall-clock into the benchmark's ``extra_info``.
 """
 
 from __future__ import annotations
@@ -15,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import pytest
+
+from repro.experiments.config import ExperimentSpec
 
 
 @dataclass(frozen=True)
@@ -27,6 +34,23 @@ class BenchScale:
     queue_time: float = 200.0   # paper: 10000
     queue_burn_in: float = 40.0  # paper: 1000
     seed: int = 20140623
+
+    def spec(self, **overrides) -> ExperimentSpec:
+        """Balls-in-bins spec at bench scale; overrides win."""
+        base = {"n": self.n, "trials": self.trials, "seed": self.seed}
+        base.update(overrides)
+        return ExperimentSpec(**base)
+
+    def queue_spec(self, **overrides) -> ExperimentSpec:
+        """Queueing (Table 8) spec at bench scale; overrides win."""
+        base = {
+            "n": self.queue_n,
+            "sim_time": self.queue_time,
+            "burn_in": self.queue_burn_in,
+            "seed": self.seed,
+        }
+        base.update(overrides)
+        return ExperimentSpec(**base)
 
 
 @pytest.fixture(scope="session")
@@ -43,3 +67,27 @@ def attach(benchmark):
             benchmark.extra_info[key] = repr(value)
 
     return _attach
+
+
+@pytest.fixture
+def track_chunks(benchmark):
+    """Engine progress hook; folds chunk telemetry into extra_info.
+
+    Pass the returned callable as the ``progress=`` argument of a table
+    function.  After the benchmarked call, the number of chunks completed
+    and the summed per-chunk wall-clock land in ``extra_info`` so the
+    ``--benchmark-json`` record carries engine-level observability too.
+    """
+    events = []
+
+    def _on_chunk(progress) -> None:
+        events.append(progress)
+
+    yield _on_chunk
+
+    if events:
+        benchmark.extra_info["engine_chunks"] = len(events)
+        benchmark.extra_info["engine_chunk_seconds"] = round(
+            sum(p.seconds for p in events), 6
+        )
+        benchmark.extra_info["engine_trials"] = sum(p.trials for p in events)

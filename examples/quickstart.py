@@ -13,7 +13,12 @@ from __future__ import annotations
 
 import argparse
 
-from repro import DoubleHashingChoices, FullyRandomChoices, run_experiment
+from repro import (
+    DoubleHashingChoices,
+    ExperimentSpec,
+    FullyRandomChoices,
+    run_experiment,
+)
 from repro.analysis import compare_distributions
 from repro.fluid import solve_balls_bins
 
@@ -30,13 +35,13 @@ def main() -> None:
     print(f"Throwing {args.n} balls into {args.n} bins, d = {args.d}, "
           f"{args.trials} trials per scheme\n")
 
-    random_res = run_experiment(
-        FullyRandomChoices(args.n, args.d), args.n, args.trials,
-        seed=args.seed, workers=args.workers,
+    spec = ExperimentSpec(
+        n=args.n, d=args.d, trials=args.trials, seed=args.seed,
+        workers=args.workers,
     )
+    random_res = run_experiment(FullyRandomChoices(spec.n, spec.d), spec)
     double_res = run_experiment(
-        DoubleHashingChoices(args.n, args.d), args.n, args.trials,
-        seed=args.seed + 1, workers=args.workers,
+        DoubleHashingChoices(spec.n, spec.d), spec.replace(seed=args.seed + 1)
     )
     fluid = solve_balls_bins(args.d, 1.0)
 

@@ -17,12 +17,19 @@ apparatus:
   hashing, open addressing with double hashing) — :mod:`repro.extensions`;
 - one harness function per paper table — :mod:`repro.experiments`.
 
+Execution is handled by a resilient engine (:mod:`repro.parallel.engine`)
+with per-chunk retries, checkpointing, and a metrics/tracing layer
+(:mod:`repro.metrics`); runs are described by one frozen
+:class:`~repro.experiments.config.ExperimentSpec` shared between the
+library API and the CLI.
+
 Quickstart
 ----------
->>> from repro import DoubleHashingChoices, FullyRandomChoices, run_experiment
->>> n = 2**10
->>> double = run_experiment(DoubleHashingChoices(n, 3), n, trials=20, seed=1)
->>> random_ = run_experiment(FullyRandomChoices(n, 3), n, trials=20, seed=2)
+>>> from repro import DoubleHashingChoices, FullyRandomChoices
+>>> from repro import ExperimentSpec, run_experiment
+>>> spec = ExperimentSpec(n=2**10, d=3, trials=20, seed=1)
+>>> double = run_experiment(DoubleHashingChoices(spec.n, spec.d), spec)
+>>> random_ = run_experiment(FullyRandomChoices(spec.n, spec.d), spec.replace(seed=2))
 >>> abs(double.distribution.fraction_at(0) - random_.distribution.fraction_at(0)) < 0.01
 True
 """
@@ -43,6 +50,7 @@ from repro.errors import (
     StabilityError,
     TableFullError,
 )
+from repro.experiments.config import ExperimentSpec
 from repro.hashing import (
     ChoiceScheme,
     DoubleHashingChoices,
@@ -51,6 +59,8 @@ from repro.hashing import (
     PartitionedFullyRandom,
     make_scheme,
 )
+from repro.metrics import MetricsRegistry
+from repro.parallel import EngineConfig, ExecutionEngine
 from repro.types import LevelStats, LoadDistribution, QueueingResult, TrialBatchResult
 
 __version__ = "1.0.0"
@@ -59,9 +69,13 @@ __all__ = [
     "ChoiceScheme",
     "ConfigurationError",
     "DoubleHashingChoices",
+    "EngineConfig",
+    "ExecutionEngine",
+    "ExperimentSpec",
     "FullyRandomChoices",
     "LevelStats",
     "LoadDistribution",
+    "MetricsRegistry",
     "PartitionedDoubleHashing",
     "PartitionedFullyRandom",
     "QueueingResult",

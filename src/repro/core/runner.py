@@ -1,17 +1,30 @@
-"""Experiment orchestration: chunked, optionally parallel trial running.
+"""Experiment orchestration: chunked, resilient, optionally parallel runs.
 
 :func:`run_experiment` is the main entry point used by the experiment
-harness and benchmarks.  It splits the requested trials into chunks, runs
-each chunk through the vectorized engine (in-process or across a process
-pool), and folds the chunk summaries into a
-:class:`~repro.core.stats.StreamingLoadAggregator` — so memory stays
-O(max_load) no matter how many trials are requested, matching the paper's
-10^4-trial scale.
+harness and benchmarks.  It splits the requested trials into chunks and
+runs each through the vectorized engine via the resilient
+:class:`~repro.parallel.engine.ExecutionEngine` — per-chunk retries on
+the original seed streams, optional checkpointing and timeouts, metrics
+and progress instrumentation — then folds the chunk summaries into a
+:class:`~repro.core.stats.StreamingLoadAggregator`, so memory stays
+O(max_load) no matter how many trials are requested, matching the
+paper's 10^4-trial scale.
+
+The preferred call style passes an
+:class:`~repro.experiments.config.ExperimentSpec`::
+
+    spec = ExperimentSpec(n=2**14, d=3, trials=1000, seed=1, workers=4)
+    result = run_experiment(DoubleHashingChoices(spec.n, spec.d), spec)
+
+The historical ``run_experiment(scheme, n_balls, trials, **kw)`` signature
+still works but emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
@@ -19,8 +32,12 @@ from repro.core.stats import StreamingLoadAggregator, trial_histograms
 from repro.core.vectorized import simulate_batch
 from repro.errors import ConfigurationError
 from repro.hashing.base import ChoiceScheme
-from repro.parallel import map_trial_chunks
+from repro.metrics import MetricsRegistry
+from repro.parallel.engine import ChunkProgress, ExecutionEngine
 from repro.types import LoadDistribution
+
+if TYPE_CHECKING:
+    from repro.experiments.config import ExperimentSpec
 
 __all__ = ["ExperimentResult", "run_experiment"]
 
@@ -38,11 +55,15 @@ class ExperimentResult:
         (Table 5 rows) without retaining raw loads.
     scheme_description:
         The scheme's one-line description for reports.
+    metrics:
+        The metrics registry observed during the run (chunk timings,
+        retry/timeout events); ``None`` unless instrumentation was on.
     """
 
     distribution: LoadDistribution
     aggregator: StreamingLoadAggregator
     scheme_description: str
+    metrics: MetricsRegistry | None = None
 
 
 @dataclass(frozen=True)
@@ -71,52 +92,136 @@ def _run_chunk(
     return trial_histograms(batch.loads)
 
 
+def _coerce_spec(
+    spec: Any,
+    trials: int | None,
+    kwargs: dict[str, Any],
+) -> "ExperimentSpec":
+    """Resolve the (spec | legacy keyword) calling conventions."""
+    from repro.experiments.config import ExperimentSpec
+
+    if isinstance(spec, ExperimentSpec):
+        if trials is not None:
+            spec = spec.replace(trials=trials)
+        overrides = {k: v for k, v in kwargs.items() if v is not None}
+        return spec.replace(**overrides) if overrides else spec
+    # Legacy: the second positional argument was ``n_balls``.
+    if spec is None and kwargs.get("n_balls") is None:
+        raise ConfigurationError(
+            "run_experiment needs an ExperimentSpec (or legacy n_balls/trials)"
+        )
+    warnings.warn(
+        "run_experiment(scheme, n_balls, trials, ...) is deprecated; "
+        "pass an ExperimentSpec instead: run_experiment(scheme, spec)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    n_balls = kwargs.pop("n_balls", None)
+    if n_balls is None:
+        n_balls = spec
+    legacy = {
+        "n_balls": int(n_balls),
+        "trials": 0 if trials is None else trials,
+        # Legacy default seed was None (fresh entropy), not the spec's 1.
+        "seed": None,
+        "tie_break": "random",
+        "block": 128,
+        "workers": 1,
+    }
+    legacy.update({k: v for k, v in kwargs.items() if v is not None})
+    return ExperimentSpec(n=legacy["n_balls"], **legacy)
+
+
 def run_experiment(
     scheme: ChoiceScheme,
-    n_balls: int,
-    trials: int,
+    spec: "ExperimentSpec | int | None" = None,
+    trials: int | None = None,
     *,
+    n_balls: int | None = None,
     seed: int | None = None,
-    tie_break: str = "random",
-    block: int = 128,
-    workers: int = 1,
+    tie_break: str | None = None,
+    block: int | None = None,
+    workers: int | None = None,
     chunks: int | None = None,
+    metrics: MetricsRegistry | None = None,
+    progress: Callable[[ChunkProgress], None] | None = None,
 ) -> ExperimentResult:
-    """Run ``trials`` balls-and-bins trials and aggregate the results.
+    """Run balls-and-bins trials under ``spec`` and aggregate the results.
 
     Parameters
     ----------
     scheme:
-        Choice generator (must be picklable when ``workers > 1``; all
-        built-in schemes are).
-    n_balls, trials:
-        Experiment size.
-    seed:
-        Root seed; chunk streams are spawned deterministically from it.
-    tie_break:
-        ``"random"`` (standard scheme) or ``"left"`` (Vöcking).
-    block:
-        Ball-steps per RNG call inside the engine.
-    workers:
-        Process count; 1 (default) runs in-process, still chunked.
-    chunks:
-        Chunk count override (defaults chosen by the pool).
+        Choice generator (must be picklable when ``spec.workers > 1``;
+        all built-in schemes are).
+    spec:
+        The :class:`~repro.experiments.config.ExperimentSpec` describing
+        the run.  (Legacy: an integer here is read as ``n_balls`` and
+        triggers the deprecated keyword path.)
+    trials, n_balls, seed, tie_break, block, workers, chunks:
+        Per-call overrides of the corresponding spec fields; with a spec
+        these are conveniences (``None`` means "use the spec"), without
+        one they form the deprecated legacy signature.
+    metrics:
+        Registry to instrument the run with; when ``None`` one is created
+        if ``spec.metrics_out`` is set (and saved there afterwards).
+    progress:
+        Callback receiving a :class:`~repro.parallel.engine.ChunkProgress`
+        per completed chunk.
     """
-    if trials < 1:
-        raise ConfigurationError(f"trials must be positive, got {trials}")
-    histograms = map_trial_chunks(
-        _run_chunk,
-        _ChunkTask(scheme=scheme, n_balls=n_balls, tie_break=tie_break, block=block),
+    spec = _coerce_spec(
+        spec,
         trials,
-        seed=seed,
-        workers=workers,
-        chunks=chunks,
+        {
+            "n_balls": n_balls,
+            "seed": seed,
+            "tie_break": tie_break,
+            "block": block,
+            "workers": workers,
+            "chunks": chunks,
+        },
     )
-    aggregator = StreamingLoadAggregator(n_bins=scheme.n_bins, n_balls=n_balls)
-    for hist in histograms:
-        aggregator.update_histograms(hist)
+    if spec.trials < 1:
+        raise ConfigurationError(f"trials must be positive, got {spec.trials}")
+
+    registry = metrics
+    if registry is None and (spec.metrics_out or progress is not None):
+        registry = MetricsRegistry()
+    engine = ExecutionEngine(
+        spec.engine_config(), metrics=registry, progress=progress
+    )
+    registry = engine.metrics  # the engine creates one when none was given
+
+    n_balls_run = spec.balls
+    with registry.timer("experiment.total_seconds"):
+        histograms = engine.map_chunks(
+            _run_chunk,
+            _ChunkTask(
+                scheme=scheme,
+                n_balls=n_balls_run,
+                tie_break=spec.tie_break,
+                block=spec.block,
+            ),
+            spec.trials,
+            seed=spec.seed,
+        )
+        with registry.timer("experiment.aggregate_seconds"):
+            aggregator = StreamingLoadAggregator(
+                n_bins=scheme.n_bins, n_balls=n_balls_run
+            )
+            for hist in histograms:
+                aggregator.update_histograms(hist)
+    registry.increment("experiment.trials", spec.trials)
+    # Each ball draws d candidate bins (plus tie-break draws); this
+    # estimate tracks RNG pressure across sweeps without instrumenting
+    # numpy itself.
+    registry.increment(
+        "rng.draws_estimate", spec.trials * n_balls_run * scheme.d
+    )
+    if spec.metrics_out:
+        registry.save(spec.metrics_out)
     return ExperimentResult(
         distribution=aggregator.distribution(),
         aggregator=aggregator,
         scheme_description=scheme.describe(),
+        metrics=registry if (metrics is not None or spec.metrics_out or progress) else None,
     )

@@ -5,12 +5,21 @@ scale and returns an :class:`~repro.experiments.tables.ExperimentTable`
 holding the measured rows next to the paper's published values, ready for
 text rendering via :func:`~repro.experiments.report.format_table`.
 
-Default scales are sized for minutes, not the paper's 10⁴-trial overnight
-runs; pass larger ``trials``/``n`` to approach paper scale (the modules are
-memory-safe at any trial count thanks to streaming aggregation).
+Each ``table*`` function takes an
+:class:`~repro.experiments.config.ExperimentSpec`; per-table defaults live
+in ``TABLE_DEFAULTS`` and are shared with the CLI.  Default scales are
+sized for minutes, not the paper's 10⁴-trial overnight runs; pass a spec
+with larger ``trials``/``n`` to approach paper scale (the modules are
+memory-safe at any trial count thanks to streaming aggregation, and the
+resilient engine checkpoints long sweeps — see ``docs/engine.md``).
 """
 
-from repro.experiments.config import PAPER_VALUES, ExperimentScale
+from repro.experiments.config import (
+    PAPER_VALUES,
+    TABLE_DEFAULTS,
+    ExperimentScale,
+    ExperimentSpec,
+)
 from repro.experiments.report import format_table, render_all
 from repro.experiments.tables import (
     ExperimentTable,
@@ -26,8 +35,10 @@ from repro.experiments.tables import (
 
 __all__ = [
     "ExperimentScale",
+    "ExperimentSpec",
     "ExperimentTable",
     "PAPER_VALUES",
+    "TABLE_DEFAULTS",
     "format_table",
     "render_all",
     "table1_load_fractions",

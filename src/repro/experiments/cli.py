@@ -9,7 +9,17 @@ Commands
 - ``list`` — list available commands.
 
 The CLI is a thin veneer over :mod:`repro.experiments`; everything it
-prints is available programmatically.
+prints is available programmatically.  Subcommand defaults come from the
+same per-table :class:`~repro.experiments.config.ExperimentSpec` objects
+the ``table*`` functions use (``TABLE_DEFAULTS``), so the CLI and the
+programmatic path cannot drift.
+
+Engine flags (every experiment subcommand): ``--workers``/``--chunks``
+control fan-out; ``--retries``/``--chunk-timeout`` the fault-tolerance
+policy; ``--checkpoint <path>.jsonl`` enables resumable sweeps;
+``--metrics-out <path>.json`` writes the run's metrics snapshot; and
+``--progress`` streams per-chunk completions to stderr.  See
+``docs/engine.md``.
 """
 
 from __future__ import annotations
@@ -20,36 +30,95 @@ from collections.abc import Sequence
 
 from repro.experiments import format_table
 from repro.experiments import tables as _tables
+from repro.experiments.config import TABLE_DEFAULTS, ExperimentSpec
+from repro.metrics import MetricsRegistry
+from repro.parallel.engine import ChunkProgress
 
 __all__ = ["main", "build_parser"]
 
 _TABLE_COMMANDS = {
-    "table1": lambda a: _tables.table1_load_fractions(
-        a.d, n=a.n, trials=a.trials, seed=a.seed, workers=a.workers
+    "table1": lambda spec, a, m, p: _tables.table1_load_fractions(
+        spec, metrics=m, progress=p
     ),
-    "table2": lambda a: _tables.table2_fluid_vs_simulation(
-        n=a.n, d=a.d, trials=a.trials, seed=a.seed, workers=a.workers
+    "table2": lambda spec, a, m, p: _tables.table2_fluid_vs_simulation(
+        spec, metrics=m, progress=p
     ),
-    "table3": lambda a: _tables.table3_larger_n(
-        a.d, log2_n=a.log2_n, trials=a.trials, seed=a.seed, workers=a.workers
+    "table3": lambda spec, a, m, p: _tables.table3_larger_n(
+        spec, metrics=m, progress=p
     ),
-    "table4": lambda a: _tables.table4_max_load(
-        a.d, trials=a.trials, seed=a.seed, workers=a.workers
+    "table4": lambda spec, a, m, p: _tables.table4_max_load(
+        spec, metrics=m, progress=p
     ),
-    "table5": lambda a: _tables.table5_level_stats(
-        n=a.n, d=a.d, trials=a.trials, seed=a.seed, workers=a.workers
+    "table5": lambda spec, a, m, p: _tables.table5_level_stats(
+        spec, metrics=m, progress=p
     ),
-    "table6": lambda a: _tables.table6_heavy_load(
-        a.d, n=a.n, trials=a.trials, seed=a.seed, workers=a.workers
+    "table6": lambda spec, a, m, p: _tables.table6_heavy_load(
+        spec, metrics=m, progress=p
     ),
-    "table7": lambda a: _tables.table7_dleft(
-        n=a.n, d=max(a.d, 2), trials=a.trials, seed=a.seed
+    "table7": lambda spec, a, m, p: _tables.table7_dleft(
+        spec.replace(d=max(spec.d, 2))
     ),
-    "table8": lambda a: _tables.table8_queueing(
-        n=min(a.n, 2**12), sim_time=a.sim_time, burn_in=a.sim_time / 5,
-        seed=a.seed,
+    "table8": lambda spec, a, m, p: _tables.table8_queueing(
+        spec.replace(n=min(spec.n, 2**12), burn_in=spec.sim_time / 5)
     ),
 }
+
+
+def _add_spec_options(p: argparse.ArgumentParser, spec: ExperimentSpec) -> None:
+    """Register the shared experiment options, defaulted from ``spec``."""
+    p.add_argument("--n", type=int, default=spec.n, help="bins (and balls)")
+    p.add_argument("--d", type=int, default=spec.d, help="choices per ball")
+    p.add_argument("--trials", type=int, default=spec.trials)
+    p.add_argument("--seed", type=int, default=spec.seed)
+    p.add_argument("--workers", type=int, default=spec.workers)
+    p.add_argument(
+        "--chunks", type=int, default=spec.chunks,
+        help="trial-chunk count (default: engine picks)",
+    )
+    p.add_argument("--log2-n", type=int, default=spec.log2_n, dest="log2_n")
+    p.add_argument(
+        "--sim-time", type=float, default=spec.sim_time, dest="sim_time"
+    )
+    p.add_argument(
+        "--retries", type=int, default=spec.max_retries,
+        help="per-chunk retries before the run fails",
+    )
+    p.add_argument(
+        "--chunk-timeout", type=float, default=spec.chunk_timeout,
+        dest="chunk_timeout",
+        help="per-chunk wall-clock bound in seconds (pooled mode)",
+    )
+    p.add_argument(
+        "--checkpoint", default=spec.checkpoint, metavar="PATH.jsonl",
+        help="chunk-level checkpoint file; re-running resumes from it",
+    )
+    p.add_argument(
+        "--metrics-out", default=spec.metrics_out, dest="metrics_out",
+        metavar="PATH.json", help="write run metrics (timings, retries) here",
+    )
+    p.add_argument(
+        "--progress", action="store_true",
+        help="print per-chunk completions to stderr",
+    )
+
+
+def _spec_from_args(command: str, args: argparse.Namespace) -> ExperimentSpec:
+    """Materialize the run spec for a parsed subcommand."""
+    base = TABLE_DEFAULTS.get(command, ExperimentSpec())
+    return base.replace(
+        n=args.n,
+        d=args.d,
+        trials=args.trials,
+        seed=args.seed,
+        workers=args.workers,
+        chunks=args.chunks,
+        log2_n=args.log2_n,
+        sim_time=args.sim_time,
+        max_retries=args.retries,
+        chunk_timeout=args.chunk_timeout,
+        checkpoint=args.checkpoint,
+        metrics_out=args.metrics_out,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,22 +131,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--n", type=int, default=2**12, help="bins (and balls)")
-        p.add_argument("--d", type=int, default=3, help="choices per ball")
-        p.add_argument("--trials", type=int, default=50)
-        p.add_argument("--seed", type=int, default=1)
-        p.add_argument("--workers", type=int, default=1)
-        p.add_argument("--log2-n", type=int, default=14, dest="log2_n")
-        p.add_argument("--sim-time", type=float, default=300.0, dest="sim_time")
-
     for name in _TABLE_COMMANDS:
-        add_common(sub.add_parser(name, help=f"regenerate paper {name}"))
+        _add_spec_options(
+            sub.add_parser(name, help=f"regenerate paper {name}"),
+            TABLE_DEFAULTS[name],
+        )
 
     compare = sub.add_parser(
         "compare", help="double vs random on a custom geometry"
     )
-    add_common(compare)
+    _add_spec_options(compare, ExperimentSpec())
 
     fluid = sub.add_parser("fluid", help="fluid-limit tail fractions")
     fluid.add_argument("--d", type=int, default=3)
@@ -85,7 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
     fluid.add_argument("--levels", type=int, default=6)
 
     zoo = sub.add_parser("zoo", help="all schemes side by side")
-    add_common(zoo)
+    _add_spec_options(zoo, ExperimentSpec())
 
     peeling = sub.add_parser(
         "peeling", help="peeling threshold sweep (follow-up paper [30])"
@@ -103,23 +166,34 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_progress(event: ChunkProgress) -> None:
+    print(
+        f"[engine] chunk {event.done}/{event.total} done "
+        f"(index {event.index}, {event.trials} trials, "
+        f"{event.seconds:.3f}s, {event.source})",
+        file=sys.stderr,
+    )
+
+
 def _run_compare(args) -> int:
     from repro.analysis import compare_distributions
     from repro.core import run_experiment
     from repro.hashing import DoubleHashingChoices, FullyRandomChoices
 
-    random_res = run_experiment(
-        FullyRandomChoices(args.n, args.d), args.n, args.trials,
-        seed=args.seed, workers=args.workers,
-    )
+    spec = _spec_from_args("compare", args)
+    random_res = run_experiment(FullyRandomChoices(spec.n, spec.d), spec)
     double_res = run_experiment(
-        DoubleHashingChoices(args.n, args.d), args.n, args.trials,
-        seed=args.seed + 1, workers=args.workers,
+        DoubleHashingChoices(spec.n, spec.d),
+        spec.replace(
+            seed=None if spec.seed is None else spec.seed + 1,
+            metrics_out=None,
+            checkpoint=None,
+        ),
     )
     report = compare_distributions(
         random_res.distribution, double_res.distribution
     )
-    print(f"n={args.n} d={args.d} trials={args.trials}")
+    print(f"n={spec.n} d={spec.d} trials={spec.trials}")
     print(f"TV distance:        {report.tv_distance:.6f}")
     print(f"chi-square p-value: {report.p_value:.4f}")
     print(f"max deviation:      {report.max_deviation:.6f} "
@@ -191,8 +265,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_compare(args)
     if args.command == "fluid":
         return _run_fluid(args)
-    table = _TABLE_COMMANDS[args.command](args)
+    spec = _spec_from_args(args.command, args)
+    metrics = MetricsRegistry()
+    progress = _print_progress if args.progress else None
+    table = _TABLE_COMMANDS[args.command](spec, args, metrics, progress)
     print(format_table(table))
+    if args.metrics_out:
+        metrics.save(args.metrics_out)
+        print(f"[metrics] wrote {args.metrics_out}", file=sys.stderr)
     return 0
 
 

@@ -1,21 +1,166 @@
-"""Experiment scales and the paper's published values.
+"""Experiment configuration: the unified spec and the paper's values.
 
-``PAPER_VALUES`` transcribes every number this reproduction targets, keyed
-by table.  The experiment functions attach the relevant slice to their
-output so reports and EXPERIMENTS.md can show paper-vs-measured side by
-side; the test suite asserts agreement where sampling noise permits.
+Two things live here:
+
+- :class:`ExperimentSpec` — the single, frozen description of an
+  experiment run (geometry + trials + seed + workers + engine policy).
+  ``run_experiment``, every ``table*`` function, and the CLI all consume
+  one; ``TABLE_DEFAULTS`` holds the per-table default spec that both the
+  programmatic defaults and the CLI subcommand defaults derive from, so
+  the two paths cannot drift.
+- ``PAPER_VALUES`` — every published number this reproduction targets,
+  keyed by table, attached to outputs for side-by-side reporting.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
-__all__ = ["ExperimentScale", "PAPER_VALUES"]
+from repro.errors import ConfigurationError
+from repro.parallel.engine import EngineConfig
+
+__all__ = ["ExperimentScale", "ExperimentSpec", "PAPER_VALUES", "TABLE_DEFAULTS"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Frozen description of one experiment run.
+
+    The spec covers four concerns: geometry (``n``, ``d``, ``n_balls``,
+    ``log2_n``, ``sim_time``/``burn_in`` for the queueing table),
+    sampling (``trials``, ``seed``), execution (``workers``, ``chunks``,
+    ``tie_break``, ``block``), and engine policy (``max_retries``,
+    ``retry_backoff``, ``chunk_timeout``, ``checkpoint``,
+    ``metrics_out``).  Derive variants with :meth:`replace`.
+
+    Attributes
+    ----------
+    n:
+        Number of bins (and balls, unless ``n_balls`` overrides).
+    d:
+        Choices per ball.
+    n_balls:
+        Balls thrown; ``None`` means ``n`` (heavy-load runs set ``m > n``).
+    trials:
+        Independent trials (paper scale: 10000).
+    seed:
+        Root seed; chunk streams are spawned deterministically from it.
+        ``None`` draws fresh OS entropy (not reproducible).
+    tie_break:
+        ``"random"`` (standard) or ``"left"`` (Vöcking).
+    block:
+        Ball-steps per RNG call inside the vectorized engine.
+    workers:
+        Process count; 1 runs in-process (still chunked).
+    chunks:
+        Chunk-count override (``None``: engine default).
+    max_retries, retry_backoff, chunk_timeout:
+        Fault-tolerance policy, see
+        :class:`~repro.parallel.engine.EngineConfig`.
+    checkpoint:
+        JSONL checkpoint path enabling resume of interrupted sweeps.
+    metrics_out:
+        Path for a metrics-snapshot JSON written after the run.
+    log2_n:
+        Table-size exponent for sweeps keyed by power of two (Table 3).
+    sim_time, burn_in:
+        Queueing-simulation horizon (Table 8); ``burn_in`` defaults to
+        ``sim_time / 5`` when ``None``.
+    """
+
+    n: int = 2**12
+    d: int = 3
+    n_balls: int | None = None
+    trials: int = 50
+    seed: int | None = 1
+    tie_break: str = "random"
+    block: int = 128
+    workers: int = 1
+    chunks: int | None = None
+    max_retries: int = 2
+    retry_backoff: float = 0.25
+    chunk_timeout: float | None = None
+    checkpoint: str | None = None
+    metrics_out: str | None = None
+    log2_n: int = 14
+    sim_time: float = 300.0
+    burn_in: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"n must be positive, got {self.n}")
+        if self.d < 1:
+            raise ConfigurationError(f"d must be positive, got {self.d}")
+        if self.n_balls is not None and self.n_balls < 1:
+            raise ConfigurationError(
+                f"n_balls must be positive, got {self.n_balls}"
+            )
+        if self.trials < 0:
+            raise ConfigurationError(
+                f"trials must be non-negative, got {self.trials}"
+            )
+        if self.tie_break not in ("random", "left"):
+            raise ConfigurationError(
+                f"tie_break must be 'random' or 'left', got {self.tie_break!r}"
+            )
+        if self.block < 1:
+            raise ConfigurationError(f"block must be positive, got {self.block}")
+        if self.workers < 0:
+            raise ConfigurationError(
+                f"workers must be non-negative, got {self.workers}"
+            )
+        # Engine-policy fields share EngineConfig's validation.
+        self.engine_config()
+
+    @property
+    def balls(self) -> int:
+        """Balls thrown: ``n_balls`` when set, else ``n``."""
+        return self.n_balls if self.n_balls is not None else self.n
+
+    @property
+    def effective_burn_in(self) -> float:
+        """Queueing burn-in: ``burn_in`` when set, else ``sim_time / 5``."""
+        return self.burn_in if self.burn_in is not None else self.sim_time / 5
+
+    def replace(self, **changes) -> "ExperimentSpec":
+        """A copy of this spec with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def engine_config(self) -> EngineConfig:
+        """The execution-engine policy encoded by this spec."""
+        return EngineConfig(
+            workers=self.workers,
+            chunks=self.chunks,
+            max_retries=self.max_retries,
+            retry_backoff=self.retry_backoff,
+            chunk_timeout=self.chunk_timeout,
+            checkpoint_path=self.checkpoint,
+        )
+
+
+# Per-table default specs.  These are the single source of truth for both
+# the ``table*`` function defaults and the CLI subcommand defaults; the
+# seeds and scales mirror the historical per-function defaults.
+TABLE_DEFAULTS: dict[str, ExperimentSpec] = {
+    "table1": ExperimentSpec(n=2**14, d=3, trials=100, seed=1),
+    "table2": ExperimentSpec(n=2**14, d=3, trials=100, seed=2),
+    "table3": ExperimentSpec(n=2**16, d=3, log2_n=16, trials=50, seed=3),
+    "table4": ExperimentSpec(d=3, trials=200, seed=4),
+    "table5": ExperimentSpec(n=2**18, d=4, trials=30, seed=5),
+    "table6": ExperimentSpec(n=2**14, d=3, trials=50, seed=6),
+    "table7": ExperimentSpec(n=2**14, d=4, trials=100, seed=7),
+    "table8": ExperimentSpec(n=2**10, d=3, seed=8, sim_time=1000.0, burn_in=100.0),
+}
 
 
 @dataclass(frozen=True)
 class ExperimentScale:
     """Knobs shared by the experiment functions.
+
+    .. deprecated::
+        Superseded by :class:`ExperimentSpec`, which additionally carries
+        geometry and engine policy; retained for existing callers.
 
     Attributes
     ----------

@@ -4,18 +4,30 @@ Every function runs both schemes (fully random and double hashing) at a
 configurable scale and returns an :class:`ExperimentTable` whose rows mirror
 the paper's layout, with the published values attached for side-by-side
 reporting.
+
+Each function takes an :class:`~repro.experiments.config.ExperimentSpec`
+(defaults come from ``TABLE_DEFAULTS``, the same source the CLI uses)::
+
+    table = table1_load_fractions(ExperimentSpec(n=2**14, trials=1000, seed=1))
+
+The historical keyword style — ``table1_load_fractions(3, n=..., trials=...)``
+— still works but emits a :class:`DeprecationWarning`.  Table-shape extras
+(``log2_n_values``, ``balls_per_bin``, ``lambdas``, ``d_values``) remain
+ordinary keyword arguments and compose with a spec.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Any
+from pathlib import Path
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.core import run_experiment, simulate_dleft
 from repro.core.dleft import make_dleft_scheme
-from repro.experiments.config import PAPER_VALUES
+from repro.experiments.config import PAPER_VALUES, TABLE_DEFAULTS, ExperimentSpec
 from repro.fluid import (
     equilibrium_mean_sojourn_time,
     solve_balls_bins,
@@ -23,6 +35,8 @@ from repro.fluid import (
     solve_heavy_load,
 )
 from repro.hashing import DoubleHashingChoices, FullyRandomChoices
+from repro.metrics import MetricsRegistry
+from repro.parallel.engine import ChunkProgress
 from repro.queueing import simulate_supermarket
 
 __all__ = [
@@ -36,6 +50,8 @@ __all__ = [
     "table7_dleft",
     "table8_queueing",
 ]
+
+ProgressHook = Callable[[ChunkProgress], None]
 
 
 @dataclass
@@ -66,20 +82,83 @@ class ExperimentTable:
     meta: dict = field(default_factory=dict)
 
 
+def _spec_for(
+    table: str,
+    spec: "ExperimentSpec | int | None",
+    **legacy,
+) -> ExperimentSpec:
+    """Resolve (spec | legacy keywords) against the table's default spec.
+
+    ``spec`` may be an :class:`ExperimentSpec` (preferred), ``None`` (use
+    ``TABLE_DEFAULTS[table]`` merged with any legacy keywords), or — for
+    the functions whose first positional argument used to be ``d`` — a
+    bare integer, read as that legacy ``d``.
+    """
+    base = TABLE_DEFAULTS[table]
+    if isinstance(spec, ExperimentSpec):
+        if any(v is not None for v in legacy.values()):
+            raise TypeError(
+                f"{table}: pass either an ExperimentSpec or legacy keyword "
+                "arguments, not both"
+            )
+        return spec
+    if isinstance(spec, int):
+        legacy["d"] = spec
+    overrides = {k: v for k, v in legacy.items() if v is not None}
+    if overrides:
+        warnings.warn(
+            f"{table}: keyword-style arguments {sorted(overrides)} are "
+            "deprecated; pass an ExperimentSpec instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return base.replace(**overrides) if overrides else base
+
+
+def _subrun(
+    spec: ExperimentSpec, label: str, seed_offset: int = 0
+) -> ExperimentSpec:
+    """Derive the spec for one scheme's sub-run within a table.
+
+    Offsets the seed (the historical per-scheme convention) and suffixes
+    the checkpoint path so concurrent sub-runs never collide on one file.
+    Metrics output stays owned by the table-level caller.
+    """
+    changes: dict[str, Any] = {"metrics_out": None}
+    if spec.seed is not None:
+        changes["seed"] = spec.seed + seed_offset
+    if spec.checkpoint:
+        p = Path(spec.checkpoint)
+        changes["checkpoint"] = str(p.with_name(f"{p.stem}.{label}{p.suffix}"))
+    return spec.replace(**changes)
+
+
 def table1_load_fractions(
-    d: int = 3,
+    spec: "ExperimentSpec | int | None" = None,
     *,
-    n: int = 2**14,
-    trials: int = 100,
-    seed: int = 1,
-    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
+    progress: ProgressHook | None = None,
+    d: int | None = None,
+    n: int | None = None,
+    trials: int | None = None,
+    seed: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentTable:
     """Table 1: load fractions, random vs double, n balls into n bins."""
+    spec = _spec_for(
+        "table1", spec, d=d, n=n, trials=trials, seed=seed, workers=workers
+    )
     random_res = run_experiment(
-        FullyRandomChoices(n, d), n, trials, seed=seed, workers=workers
+        FullyRandomChoices(spec.n, spec.d),
+        _subrun(spec, "random"),
+        metrics=metrics,
+        progress=progress,
     )
     double_res = run_experiment(
-        DoubleHashingChoices(n, d), n, trials, seed=seed + 1, workers=workers
+        DoubleHashingChoices(spec.n, spec.d),
+        _subrun(spec, "double", seed_offset=1),
+        metrics=metrics,
+        progress=progress,
     )
     fr = random_res.distribution.fractions
     fd = double_res.distribution.fractions
@@ -92,35 +171,47 @@ def table1_load_fractions(
         )
         for load in range(width)
     ]
-    sub = "a" if d == 3 else "b"
+    sub = "a" if spec.d == 3 else "b"
     return ExperimentTable(
         table_id=f"Table 1({sub})",
-        title=f"{d} choices, n = {n} balls and bins",
+        title=f"{spec.d} choices, n = {spec.n} balls and bins",
         columns=["Load", "Fully Random", "Double Hashing"],
         rows=rows,
         paper={
-            "random": PAPER_VALUES["table1"].get((d, "random"), {}),
-            "double": PAPER_VALUES["table1"].get((d, "double"), {}),
+            "random": PAPER_VALUES["table1"].get((spec.d, "random"), {}),
+            "double": PAPER_VALUES["table1"].get((spec.d, "double"), {}),
         },
-        meta={"n": n, "d": d, "trials": trials},
+        meta={"n": spec.n, "d": spec.d, "trials": spec.trials},
     )
 
 
 def table2_fluid_vs_simulation(
+    spec: "ExperimentSpec | None" = None,
     *,
-    n: int = 2**14,
-    d: int = 3,
-    trials: int = 100,
-    seed: int = 2,
-    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
+    progress: ProgressHook | None = None,
+    n: int | None = None,
+    d: int | None = None,
+    trials: int | None = None,
+    seed: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentTable:
     """Table 2: fluid-limit tail fractions vs both simulated schemes."""
-    fluid = solve_balls_bins(d, 1.0)
+    spec = _spec_for(
+        "table2", spec, n=n, d=d, trials=trials, seed=seed, workers=workers
+    )
+    fluid = solve_balls_bins(spec.d, 1.0)
     random_res = run_experiment(
-        FullyRandomChoices(n, d), n, trials, seed=seed, workers=workers
+        FullyRandomChoices(spec.n, spec.d),
+        _subrun(spec, "random"),
+        metrics=metrics,
+        progress=progress,
     )
     double_res = run_experiment(
-        DoubleHashingChoices(n, d), n, trials, seed=seed + 1, workers=workers
+        DoubleHashingChoices(spec.n, spec.d),
+        _subrun(spec, "double", seed_offset=1),
+        metrics=metrics,
+        progress=progress,
     )
     max_tail = max(
         len(random_res.distribution.counts), len(double_res.distribution.counts)
@@ -136,56 +227,71 @@ def table2_fluid_vs_simulation(
     ]
     return ExperimentTable(
         table_id="Table 2",
-        title=f"{d} choices, fluid limit (n = inf) vs n = {n} balls and bins",
+        title=f"{spec.d} choices, fluid limit (n = inf) vs n = {spec.n} "
+        "balls and bins",
         columns=["Tail load >=", "Fluid Limit", "Fully Random", "Double Hashing"],
         rows=rows,
         paper=PAPER_VALUES["table2"],
-        meta={"n": n, "d": d, "trials": trials},
+        meta={"n": spec.n, "d": spec.d, "trials": spec.trials},
     )
 
 
 def table3_larger_n(
-    d: int = 3,
+    spec: "ExperimentSpec | int | None" = None,
     *,
-    log2_n: int = 16,
-    trials: int = 50,
-    seed: int = 3,
-    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
+    progress: ProgressHook | None = None,
+    d: int | None = None,
+    log2_n: int | None = None,
+    trials: int | None = None,
+    seed: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentTable:
     """Table 3: load fractions at larger table sizes (2^16, 2^18)."""
-    n = 2**log2_n
-    table = table1_load_fractions(
-        d, n=n, trials=trials, seed=seed, workers=workers
+    spec = _spec_for(
+        "table3", spec, d=d, log2_n=log2_n, trials=trials, seed=seed,
+        workers=workers,
     )
-    table.table_id = f"Table 3 (n = 2^{log2_n}, d = {d})"
+    spec = spec.replace(n=2**spec.log2_n)
+    table = table1_load_fractions(spec, metrics=metrics, progress=progress)
+    table.table_id = f"Table 3 (n = 2^{spec.log2_n}, d = {spec.d})"
     table.paper = {
-        "random": PAPER_VALUES["table3"].get((log2_n, d, "random"), {}),
-        "double": PAPER_VALUES["table3"].get((log2_n, d, "double"), {}),
+        "random": PAPER_VALUES["table3"].get((spec.log2_n, spec.d, "random"), {}),
+        "double": PAPER_VALUES["table3"].get((spec.log2_n, spec.d, "double"), {}),
     }
     return table
 
 
 def table4_max_load(
-    d: int = 3,
+    spec: "ExperimentSpec | int | None" = None,
     *,
     log2_n_values: tuple[int, ...] = (10, 11, 12, 13, 14),
-    trials: int = 200,
-    seed: int = 4,
-    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
+    progress: ProgressHook | None = None,
+    d: int | None = None,
+    trials: int | None = None,
+    seed: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentTable:
     """Table 4: percentage of trials whose maximum load is exactly 3."""
+    spec = _spec_for(
+        "table4", spec, d=d, trials=trials, seed=seed, workers=workers
+    )
     rows = []
     for k, log2_n in enumerate(log2_n_values):
         n = 2**log2_n
+        point = spec.replace(n=n)
         random_res = run_experiment(
-            FullyRandomChoices(n, d), n, trials, seed=seed + 2 * k, workers=workers
+            FullyRandomChoices(n, spec.d),
+            _subrun(point, f"random-{log2_n}", seed_offset=2 * k),
+            metrics=metrics,
+            progress=progress,
         )
         double_res = run_experiment(
-            DoubleHashingChoices(n, d),
-            n,
-            trials,
-            seed=seed + 2 * k + 1,
-            workers=workers,
+            DoubleHashingChoices(n, spec.d),
+            _subrun(point, f"double-{log2_n}", seed_offset=2 * k + 1),
+            metrics=metrics,
+            progress=progress,
         )
         rows.append(
             (
@@ -195,34 +301,45 @@ def table4_max_load(
             )
         )
     return ExperimentTable(
-        table_id=f"Table 4 ({d} choices)",
-        title=f"Percentage of trials with maximum load 3, {d} choices",
+        table_id=f"Table 4 ({spec.d} choices)",
+        title=f"Percentage of trials with maximum load 3, {spec.d} choices",
         columns=["n", "Fully Random", "Double Hashing"],
         rows=rows,
         paper={
-            "random": PAPER_VALUES["table4"].get((d, "random"), {}),
-            "double": PAPER_VALUES["table4"].get((d, "double"), {}),
+            "random": PAPER_VALUES["table4"].get((spec.d, "random"), {}),
+            "double": PAPER_VALUES["table4"].get((spec.d, "double"), {}),
         },
-        meta={"d": d, "trials": trials},
+        meta={"d": spec.d, "trials": spec.trials},
     )
 
 
 def table5_level_stats(
+    spec: "ExperimentSpec | None" = None,
     *,
-    n: int = 2**18,
-    d: int = 4,
-    trials: int = 30,
-    seed: int = 5,
-    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
+    progress: ProgressHook | None = None,
+    n: int | None = None,
+    d: int | None = None,
+    trials: int | None = None,
+    seed: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentTable:
     """Table 5: per-load min/avg/max/std of bin counts across trials."""
+    spec = _spec_for(
+        "table5", spec, n=n, d=d, trials=trials, seed=seed, workers=workers
+    )
     rows: list[tuple] = []
     paper = PAPER_VALUES["table5"]
-    for label, scheme, s in (
-        ("random", FullyRandomChoices(n, d), seed),
-        ("double", DoubleHashingChoices(n, d), seed + 1),
+    for label, scheme, offset in (
+        ("random", FullyRandomChoices(spec.n, spec.d), 0),
+        ("double", DoubleHashingChoices(spec.n, spec.d), 1),
     ):
-        res = run_experiment(scheme, n, trials, seed=s, workers=workers)
+        res = run_experiment(
+            scheme,
+            _subrun(spec, label, seed_offset=offset),
+            metrics=metrics,
+            progress=progress,
+        )
         top = len(res.distribution.counts) - 1
         for load in range(top + 1):
             st = res.aggregator.level_stats(load)
@@ -231,32 +348,45 @@ def table5_level_stats(
             )
     return ExperimentTable(
         table_id="Table 5",
-        title=f"Sample statistics per load, {d} choices, n = {n}",
+        title=f"Sample statistics per load, {spec.d} choices, n = {spec.n}",
         columns=["Scheme", "Load", "min", "avg", "max", "std.dev."],
         rows=rows,
         paper=paper,
-        meta={"n": n, "d": d, "trials": trials},
+        meta={"n": spec.n, "d": spec.d, "trials": spec.trials},
     )
 
 
 def table6_heavy_load(
-    d: int = 3,
+    spec: "ExperimentSpec | int | None" = None,
     *,
-    n: int = 2**14,
     balls_per_bin: int = 16,
-    trials: int = 50,
-    seed: int = 6,
-    workers: int = 1,
+    metrics: MetricsRegistry | None = None,
+    progress: ProgressHook | None = None,
+    d: int | None = None,
+    n: int | None = None,
+    trials: int | None = None,
+    seed: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentTable:
     """Table 6: m = 16n balls into n bins — the higher-load regime."""
-    m = n * balls_per_bin
+    spec = _spec_for(
+        "table6", spec, d=d, n=n, trials=trials, seed=seed, workers=workers
+    )
+    m = spec.n * balls_per_bin
+    spec = spec.replace(n_balls=m)
     random_res = run_experiment(
-        FullyRandomChoices(n, d), m, trials, seed=seed, workers=workers
+        FullyRandomChoices(spec.n, spec.d),
+        _subrun(spec, "random"),
+        metrics=metrics,
+        progress=progress,
     )
     double_res = run_experiment(
-        DoubleHashingChoices(n, d), m, trials, seed=seed + 1, workers=workers
+        DoubleHashingChoices(spec.n, spec.d),
+        _subrun(spec, "double", seed_offset=1),
+        metrics=metrics,
+        progress=progress,
     )
-    fluid = solve_heavy_load(d, balls_per_bin)
+    fluid = solve_heavy_load(spec.d, balls_per_bin)
     fr = random_res.distribution.fractions
     fd = double_res.distribution.fractions
     width = max(len(fr), len(fd))
@@ -272,33 +402,41 @@ def table6_heavy_load(
         or (load < len(fd) and fd[load] > 0)
     ]
     return ExperimentTable(
-        table_id=f"Table 6 ({d} choices)",
-        title=f"{d} choices, {m} balls into {n} bins",
+        table_id=f"Table 6 ({spec.d} choices)",
+        title=f"{spec.d} choices, {m} balls into {spec.n} bins",
         columns=["Load", "Fully Random", "Double Hashing", "Fluid Limit"],
         rows=rows,
         paper={
-            "random": PAPER_VALUES["table6"].get((d, "random"), {}),
-            "double": PAPER_VALUES["table6"].get((d, "double"), {}),
+            "random": PAPER_VALUES["table6"].get((spec.d, "random"), {}),
+            "double": PAPER_VALUES["table6"].get((spec.d, "double"), {}),
         },
-        meta={"n": n, "m": m, "d": d, "trials": trials},
+        meta={"n": spec.n, "m": m, "d": spec.d, "trials": spec.trials},
     )
 
 
 def table7_dleft(
+    spec: "ExperimentSpec | None" = None,
     *,
-    n: int = 2**14,
-    d: int = 4,
-    trials: int = 100,
-    seed: int = 7,
+    n: int | None = None,
+    d: int | None = None,
+    trials: int | None = None,
+    seed: int | None = None,
 ) -> ExperimentTable:
     """Table 7: Vöcking's d-left scheme, random vs double vs fluid."""
+    spec = _spec_for("table7", spec, n=n, d=d, trials=trials, seed=seed)
     random_batch = simulate_dleft(
-        make_dleft_scheme(n, d, "random"), n, trials, seed=seed
+        make_dleft_scheme(spec.n, spec.d, "random"),
+        spec.n,
+        spec.trials,
+        seed=spec.seed,
     )
     double_batch = simulate_dleft(
-        make_dleft_scheme(n, d, "double"), n, trials, seed=seed + 1
+        make_dleft_scheme(spec.n, spec.d, "double"),
+        spec.n,
+        spec.trials,
+        seed=None if spec.seed is None else spec.seed + 1,
     )
-    fluid = solve_dleft(d, 1.0)
+    fluid = solve_dleft(spec.d, 1.0)
     dr = random_batch.distribution()
     dd = double_batch.distribution()
     width = max(len(dr.counts), len(dd.counts))
@@ -311,28 +449,29 @@ def table7_dleft(
         )
         for load in range(width)
     ]
-    log2_n = int(np.log2(n)) if (n & (n - 1)) == 0 else None
+    log2_n = int(np.log2(spec.n)) if (spec.n & (spec.n - 1)) == 0 else None
     return ExperimentTable(
         table_id="Table 7",
-        title=f"Vöcking's d-left scheme, {d} choices, n = {n}",
+        title=f"Vöcking's d-left scheme, {spec.d} choices, n = {spec.n}",
         columns=["Load", "Fully Random", "Double Hashing", "Fluid Limit"],
         rows=rows,
         paper={
             "random": PAPER_VALUES["table7"].get((log2_n, "random"), {}),
             "double": PAPER_VALUES["table7"].get((log2_n, "double"), {}),
         },
-        meta={"n": n, "d": d, "trials": trials},
+        meta={"n": spec.n, "d": spec.d, "trials": spec.trials},
     )
 
 
 def table8_queueing(
+    spec: "ExperimentSpec | None" = None,
     *,
-    n: int = 2**10,
     lambdas: tuple[float, ...] = (0.9, 0.99),
     d_values: tuple[int, ...] = (3, 4),
-    sim_time: float = 1000.0,
-    burn_in: float = 100.0,
-    seed: int = 8,
+    n: int | None = None,
+    sim_time: float | None = None,
+    burn_in: float | None = None,
+    seed: int | None = None,
 ) -> ExperimentTable:
     """Table 8: supermarket model, mean time in system.
 
@@ -340,36 +479,45 @@ def table8_queueing(
     equilibrium fluid-limit column provides the scale-free reference the
     simulated values converge to.
     """
+    spec = _spec_for(
+        "table8", spec, n=n, sim_time=sim_time, burn_in=burn_in, seed=seed
+    )
     rows = []
     k = 0
     for lam in lambdas:
-        for d in d_values:
+        for d_now in d_values:
             res_r = simulate_supermarket(
-                FullyRandomChoices(n, d), lam, sim_time,
-                burn_in=burn_in, seed=seed + 2 * k,
+                FullyRandomChoices(spec.n, d_now), lam, spec.sim_time,
+                burn_in=spec.effective_burn_in,
+                seed=None if spec.seed is None else spec.seed + 2 * k,
             )
             res_d = simulate_supermarket(
-                DoubleHashingChoices(n, d), lam, sim_time,
-                burn_in=burn_in, seed=seed + 2 * k + 1,
+                DoubleHashingChoices(spec.n, d_now), lam, spec.sim_time,
+                burn_in=spec.effective_burn_in,
+                seed=None if spec.seed is None else spec.seed + 2 * k + 1,
             )
             rows.append(
                 (
                     lam,
-                    d,
+                    d_now,
                     res_r.mean_sojourn_time,
                     res_d.mean_sojourn_time,
-                    equilibrium_mean_sojourn_time(lam, d),
+                    equilibrium_mean_sojourn_time(lam, d_now),
                 )
             )
             k += 1
     return ExperimentTable(
         table_id="Table 8",
-        title=f"n = {n} queues, average time in system",
+        title=f"n = {spec.n} queues, average time in system",
         columns=[
             "lambda", "Choices", "Fully Random", "Double Hashing",
             "Fluid Equilibrium",
         ],
         rows=rows,
         paper=PAPER_VALUES["table8"],
-        meta={"n": n, "sim_time": sim_time, "burn_in": burn_in},
+        meta={
+            "n": spec.n,
+            "sim_time": spec.sim_time,
+            "burn_in": spec.effective_burn_in,
+        },
     )

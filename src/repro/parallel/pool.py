@@ -4,18 +4,22 @@ The work unit is "run ``k`` trials and return a compact summary".  Workers
 receive a picklable task object plus their own ``SeedSequence`` child, so the
 overall result is reproducible from the root seed regardless of scheduling —
 the multiprocessing analogue of MPI rank-indexed RNG streams.
+
+:func:`map_trial_chunks` is the stable, minimal front door; it delegates to
+the resilient :class:`~repro.parallel.engine.ExecutionEngine`, which adds
+retries, per-chunk timeouts, checkpointing, and metrics for callers that
+need them.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import os
-from collections.abc import Callable, Sequence
+from collections.abc import Callable
 from typing import Any, TypeVar
 
 import numpy as np
 
-from repro.rng import spawn_seeds
+from repro.errors import ConfigurationError
 
 __all__ = ["partition_trials", "map_trial_chunks", "default_workers"]
 
@@ -23,8 +27,27 @@ T = TypeVar("T")
 
 
 def default_workers() -> int:
-    """Worker count: CPU count capped at 8 (diminishing returns beyond)."""
-    return min(os.cpu_count() or 1, 8)
+    """Default worker count.
+
+    Honors the ``REPRO_WORKERS`` environment variable when set (any
+    positive integer, no cap — explicit configuration wins).  Otherwise
+    uses the process CPU count (``os.process_cpu_count`` on 3.13+, which
+    respects affinity masks; ``os.cpu_count`` before that) capped at 8,
+    where trial fan-out sees diminishing returns.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None and env.strip():
+        try:
+            value = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_WORKERS must be an integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ConfigurationError(f"REPRO_WORKERS must be >= 1, got {value}")
+        return value
+    count_cpus = getattr(os, "process_cpu_count", os.cpu_count)
+    return min(count_cpus() or 1, 8)
 
 
 def partition_trials(trials: int, chunks: int) -> list[int]:
@@ -40,13 +63,6 @@ def partition_trials(trials: int, chunks: int) -> list[int]:
     chunks = min(chunks, trials) or 1
     base, extra = divmod(trials, chunks)
     return [base + (1 if i < extra else 0) for i in range(chunks)]
-
-
-def _invoke(
-    args: tuple[Callable[[Any, int, np.random.SeedSequence], T], Any, int, np.random.SeedSequence],
-) -> T:
-    func, task, chunk_trials, seed_seq = args
-    return func(task, chunk_trials, seed_seq)
 
 
 def map_trial_chunks(
@@ -83,15 +99,7 @@ def map_trial_chunks(
     list
         One result per chunk, in chunk order.
     """
-    if workers is None:
-        workers = default_workers()
-    if chunks is None:
-        chunks = workers if workers > 1 else min(4, max(trials, 1))
-    sizes = [s for s in partition_trials(trials, chunks) if s > 0]
-    seeds = spawn_seeds(seed, len(sizes))
-    jobs = [(func, task, size, s) for size, s in zip(sizes, seeds)]
-    if workers <= 1 or len(jobs) <= 1:
-        return [_invoke(job) for job in jobs]
-    ctx = mp.get_context("spawn")
-    with ctx.Pool(processes=min(workers, len(jobs))) as pool:
-        return pool.map(_invoke, jobs)
+    from repro.parallel.engine import EngineConfig, ExecutionEngine
+
+    engine = ExecutionEngine(EngineConfig(workers=workers, chunks=chunks))
+    return engine.map_chunks(func, task, trials, seed=seed)

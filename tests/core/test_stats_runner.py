@@ -16,6 +16,7 @@ from repro.core.stats import (
     trial_histograms,
 )
 from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentSpec
 from repro.hashing import DoubleHashingChoices, FullyRandomChoices
 from repro.types import TrialBatchResult
 
@@ -123,43 +124,48 @@ class TestRowHelpers:
 
 class TestRunExperiment:
     def test_basic_run(self):
-        res = run_experiment(DoubleHashingChoices(64, 3), 64, 10, seed=1)
+        spec = ExperimentSpec(n=64, d=3, trials=10, seed=1)
+        res = run_experiment(DoubleHashingChoices(64, 3), spec)
         assert res.distribution.trials == 10
         assert res.distribution.counts.sum() == 10 * 64
         assert "double" in res.scheme_description
 
     def test_chunked_equals_unchunked_in_law(self):
-        a = run_experiment(
-            FullyRandomChoices(256, 3), 256, 40, seed=2, chunks=1
-        )
-        b = run_experiment(
-            FullyRandomChoices(256, 3), 256, 40, seed=2, chunks=8
-        )
+        spec = ExperimentSpec(n=256, d=3, trials=40, seed=2)
+        a = run_experiment(FullyRandomChoices(256, 3), spec.replace(chunks=1))
+        b = run_experiment(FullyRandomChoices(256, 3), spec.replace(chunks=8))
         assert abs(
             a.distribution.fraction_at(1) - b.distribution.fraction_at(1)
         ) < 0.02
 
     def test_reproducible(self):
-        a = run_experiment(DoubleHashingChoices(32, 2), 32, 8, seed=9)
-        b = run_experiment(DoubleHashingChoices(32, 2), 32, 8, seed=9)
+        spec = ExperimentSpec(n=32, d=2, trials=8, seed=9)
+        a = run_experiment(DoubleHashingChoices(32, 2), spec)
+        b = run_experiment(DoubleHashingChoices(32, 2), spec)
         assert np.array_equal(a.distribution.counts, b.distribution.counts)
 
     def test_multiprocess_matches_serial(self):
         """workers=2 must produce exactly the serial result (same spawned
         seed streams, order-independent aggregation)."""
-        serial = run_experiment(
-            DoubleHashingChoices(64, 3), 64, 8, seed=3, workers=1, chunks=4
-        )
+        spec = ExperimentSpec(n=64, d=3, trials=8, seed=3, chunks=4)
+        serial = run_experiment(DoubleHashingChoices(64, 3), spec)
         parallel = run_experiment(
-            DoubleHashingChoices(64, 3), 64, 8, seed=3, workers=2, chunks=4
+            DoubleHashingChoices(64, 3), spec.replace(workers=2)
         )
         assert np.array_equal(
             serial.distribution.counts, parallel.distribution.counts
         )
 
+    def test_legacy_signature_still_works(self):
+        with pytest.warns(DeprecationWarning):
+            res = run_experiment(DoubleHashingChoices(64, 3), 64, 10, seed=1)
+        assert res.distribution.trials == 10
+
     def test_invalid_trials(self):
         with pytest.raises(ConfigurationError):
-            run_experiment(FullyRandomChoices(8, 2), 8, 0)
+            run_experiment(
+                FullyRandomChoices(8, 2), ExperimentSpec(n=8, d=2, trials=0)
+            )
 
 
 @given(

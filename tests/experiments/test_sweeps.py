@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentSpec
 from repro.experiments.report import render_all
 from repro.experiments.sweeps import (
     convergence_sweep,
@@ -62,8 +63,8 @@ class TestSweepIO:
 class TestRenderAll:
     def test_renders_multiple_tables(self):
         thunks = [
-            lambda: table1_load_fractions(3, n=128, trials=5, seed=1),
-            lambda: table1_load_fractions(4, n=128, trials=5, seed=2),
+            lambda: table1_load_fractions(ExperimentSpec(n=128, d=3, trials=5, seed=1)),
+            lambda: table1_load_fractions(ExperimentSpec(n=128, d=4, trials=5, seed=2)),
         ]
         text = render_all(thunks)
         assert text.count("Table 1") == 2

@@ -6,6 +6,7 @@ import pytest
 
 from repro.experiments import (
     PAPER_VALUES,
+    ExperimentSpec,
     format_table,
     table1_load_fractions,
     table2_fluid_vs_simulation,
@@ -22,12 +23,12 @@ from repro.experiments import (
 
 @pytest.fixture(scope="module")
 def t1():
-    return table1_load_fractions(3, n=2**12, trials=60, seed=1)
+    return table1_load_fractions(ExperimentSpec(n=2**12, d=3, trials=60, seed=1))
 
 
 @pytest.fixture(scope="module")
 def t2():
-    return table2_fluid_vs_simulation(n=2**12, trials=60, seed=2)
+    return table2_fluid_vs_simulation(ExperimentSpec(n=2**12, d=3, trials=60, seed=2))
 
 
 class TestTable1(object):
@@ -73,19 +74,19 @@ class TestTable2(object):
 
 class TestTable3:
     def test_small_scale_run(self):
-        t = table3_larger_n(3, log2_n=12, trials=20, seed=3)
+        t = table3_larger_n(ExperimentSpec(d=3, log2_n=12, trials=20, seed=3))
         assert "2^12" in t.table_id
         assert t.paper == {"random": {}, "double": {}}  # no 2^12 in paper
 
     def test_paper_reference_for_published_sizes(self):
-        t = table3_larger_n(3, log2_n=16, trials=2, seed=4)
+        t = table3_larger_n(ExperimentSpec(d=3, log2_n=16, trials=2, seed=4))
         assert t.paper["random"][0] == 0.17695
 
 
 class TestTable4:
     def test_structure_and_monotonicity(self):
         t = table4_max_load(
-            3, log2_n_values=(9, 11, 13), trials=60, seed=5
+            ExperimentSpec(d=3, trials=60, seed=5), log2_n_values=(9, 11, 13)
         )
         assert len(t.rows) == 3
         random_col = [r[1] for r in t.rows]
@@ -93,14 +94,14 @@ class TestTable4:
         assert random_col[0] <= random_col[-1]
 
     def test_percent_range(self):
-        t = table4_max_load(3, log2_n_values=(12,), trials=40, seed=6)
+        t = table4_max_load(ExperimentSpec(d=3, trials=40, seed=6), log2_n_values=(12,))
         for _, a, b in t.rows:
             assert 0.0 <= a <= 100.0 and 0.0 <= b <= 100.0
 
 
 class TestTable5:
     def test_level_stats_structure(self):
-        t = table5_level_stats(n=2**12, d=4, trials=10, seed=7)
+        t = table5_level_stats(ExperimentSpec(n=2**12, d=4, trials=10, seed=7))
         schemes = {row[0] for row in t.rows}
         assert schemes == {"random", "double"}
         for _, load, mn, avg, mx, std in t.rows:
@@ -108,7 +109,7 @@ class TestTable5:
             assert std >= 0
 
     def test_counts_scale_with_n(self):
-        t = table5_level_stats(n=2**12, d=4, trials=10, seed=8)
+        t = table5_level_stats(ExperimentSpec(n=2**12, d=4, trials=10, seed=8))
         level1 = [r for r in t.rows if r[1] == 1]
         for row in level1:
             # ~71.8% of bins at load 1 (paper Table 5 shape).
@@ -117,14 +118,14 @@ class TestTable5:
 
 class TestTable6:
     def test_heavy_load_shape(self):
-        t = table6_heavy_load(3, n=2**10, balls_per_bin=16, trials=10, seed=9)
+        t = table6_heavy_load(ExperimentSpec(n=2**10, d=3, trials=10, seed=9), balls_per_bin=16)
         loads = [r[0] for r in t.rows]
         assert 16 in loads
         peak = max(t.rows, key=lambda r: r[1])
         assert peak[0] == 16  # distribution peaks at the mean load
 
     def test_fluid_column_matches_paper(self):
-        t = table6_heavy_load(3, n=2**10, balls_per_bin=16, trials=5, seed=10)
+        t = table6_heavy_load(ExperimentSpec(n=2**10, d=3, trials=5, seed=10), balls_per_bin=16)
         paper = PAPER_VALUES["table6"][(3, "random")]
         fluid_by_load = {r[0]: r[3] for r in t.rows}
         for load, expected in paper.items():
@@ -134,7 +135,7 @@ class TestTable6:
 
 class TestTable7:
     def test_dleft_small_scale(self):
-        t = table7_dleft(n=2**12, trials=40, seed=11)
+        t = table7_dleft(ExperimentSpec(n=2**12, d=4, trials=40, seed=11))
         by_load = {r[0]: r for r in t.rows}
         # Fluid column matches the paper's published fractions.
         assert by_load[0][3] == pytest.approx(0.12421, abs=1e-4)
@@ -147,8 +148,8 @@ class TestTable7:
 class TestTable8:
     def test_queueing_row(self):
         t = table8_queueing(
-            n=128, lambdas=(0.9,), d_values=(3,), sim_time=200.0,
-            burn_in=40.0, seed=12,
+            ExperimentSpec(n=128, sim_time=200.0, burn_in=40.0, seed=12),
+            lambdas=(0.9,), d_values=(3,),
         )
         (lam, d, rand, dbl, fluid) = t.rows[0]
         assert lam == 0.9 and d == 3
