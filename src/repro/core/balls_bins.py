@@ -6,91 +6,15 @@ This is the executable specification of the process the paper studies:
 candidate, breaking ties uniformly at random (or toward the leftmost
 candidate, for Vöcking-style processes).
 
-It is deliberately written for clarity — a plain loop over balls with small
-numpy calls — and serves as the ground truth the vectorized engine is tested
-against (same seed discipline, distributionally identical output).
+The implementation now lives in :mod:`repro.kernels.reference`, where it
+doubles as the kernel subsystem's reference backend — the ground truth the
+vectorized backends are tested against (fixed-seed outputs are pinned by
+``tests/data/golden_reference.json``).  This module keeps the historical
+import path.
 """
 
 from __future__ import annotations
 
-from typing import Literal
+from repro.kernels.reference import TieBreak, place_ball, simulate_single_trial
 
-import numpy as np
-
-from repro.errors import ConfigurationError
-from repro.hashing.base import ChoiceScheme
-from repro.rng import default_generator
-from repro.types import LoadDistribution
-
-__all__ = ["simulate_single_trial", "place_ball"]
-
-TieBreak = Literal["random", "left"]
-
-
-def place_ball(
-    loads: np.ndarray,
-    choices: np.ndarray,
-    rng: np.random.Generator,
-    tie_break: TieBreak = "random",
-) -> int:
-    """Place one ball given its candidate bins; return the chosen bin.
-
-    Mutates ``loads`` in place.  With ``tie_break="random"`` the least-loaded
-    candidate is chosen uniformly among ties; with ``"left"`` the leftmost
-    (lowest index *within the choice vector*) wins, which is Vöcking's rule
-    when the choice vector is ordered across subtables.
-    """
-    candidate_loads = loads[choices]
-    least = candidate_loads.min()
-    ties = np.flatnonzero(candidate_loads == least)
-    if tie_break == "left" or ties.size == 1:
-        pick = ties[0]
-    else:
-        pick = ties[int(rng.integers(0, ties.size))]
-    chosen = int(choices[pick])
-    loads[chosen] += 1
-    return chosen
-
-
-def simulate_single_trial(
-    scheme: ChoiceScheme,
-    n_balls: int,
-    *,
-    seed: int | np.random.Generator | None = None,
-    tie_break: TieBreak = "random",
-    return_loads: bool = False,
-) -> LoadDistribution | np.ndarray:
-    """Throw ``n_balls`` balls using ``scheme``; return the load distribution.
-
-    Parameters
-    ----------
-    scheme:
-        Choice generator; its ``n_bins`` defines the table size.
-    n_balls:
-        Number of balls to place sequentially.
-    seed:
-        Seed or generator for all randomness (choices and tie-breaking).
-    tie_break:
-        ``"random"`` (paper's standard scheme) or ``"left"`` (Vöcking).
-    return_loads:
-        If True, return the raw per-bin load vector instead of the
-        aggregated :class:`~repro.types.LoadDistribution`.
-    """
-    if n_balls < 0:
-        raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
-    rng = default_generator(seed)
-    loads = np.zeros(scheme.n_bins, dtype=np.int64)
-    for _ in range(n_balls):
-        choices = scheme.single(rng)
-        place_ball(loads, choices, rng, tie_break)
-    if return_loads:
-        return loads
-    max_load = int(loads.max(initial=0))
-    counts = np.bincount(loads, minlength=max_load + 1)
-    return LoadDistribution(
-        n_bins=scheme.n_bins,
-        n_balls=n_balls,
-        trials=1,
-        counts=counts,
-        max_load_per_trial=np.array([max_load]),
-    )
+__all__ = ["simulate_single_trial", "place_ball", "TieBreak"]

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.vectorized import simulate_batch
+from repro.core.vectorized import DEFAULT_BLOCK, simulate_batch
 from repro.errors import ConfigurationError
 from repro.hashing.base import ChoiceScheme
 from repro.hashing.partitioned import (
@@ -48,13 +48,18 @@ def simulate_dleft(
     trials: int,
     *,
     seed: int | np.random.Generator | None = None,
-    block: int = 128,
+    block: int = DEFAULT_BLOCK,
+    backend: str | None = None,
 ) -> TrialBatchResult:
     """Run Vöcking's scheme: partitioned choices, ties to the left.
 
     ``scheme`` must be partitioned (its column ``k`` confined to subtable
     ``k``); passing an unpartitioned scheme would silently simulate a
-    different process, so it is rejected.
+    different process, so it is rejected.  Leftmost tie-breaking rides the
+    shared kernel backends: the candidate's column index is its tie key
+    (see :mod:`repro.kernels.generate`), and since a partitioned scheme's
+    columns occupy disjoint ascending index ranges, "lowest column" and
+    "lowest bin index" coincide.
     """
     if not isinstance(scheme, _PartitionedScheme):
         raise ConfigurationError(
@@ -68,4 +73,5 @@ def simulate_dleft(
         seed=seed,
         tie_break="left",
         block=block,
+        backend=backend,
     )

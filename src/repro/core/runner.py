@@ -68,12 +68,19 @@ class ExperimentResult:
 
 @dataclass(frozen=True)
 class _ChunkTask:
-    """Picklable chunk description shipped to worker processes."""
+    """Picklable chunk description shipped to worker processes.
+
+    ``backend`` rides along so pool workers inherit the kernel backend of
+    the parent run (the ``REPRO_BACKEND`` environment variable is also
+    inherited by spawned processes, but an explicit spec choice must win
+    over the worker's environment).
+    """
 
     scheme: ChoiceScheme
     n_balls: int
     tie_break: str
     block: int
+    backend: str | None = None
 
 
 def _run_chunk(
@@ -88,6 +95,7 @@ def _run_chunk(
         seed=rng,
         tie_break=task.tie_break,
         block=task.block,
+        backend=task.backend,
     )
     return trial_histograms(batch.loads)
 
@@ -141,6 +149,7 @@ def run_experiment(
     seed: int | None = None,
     tie_break: str | None = None,
     block: int | None = None,
+    backend: str | None = None,
     workers: int | None = None,
     chunks: int | None = None,
     metrics: MetricsRegistry | None = None,
@@ -157,7 +166,7 @@ def run_experiment(
         The :class:`~repro.experiments.config.ExperimentSpec` describing
         the run.  (Legacy: an integer here is read as ``n_balls`` and
         triggers the deprecated keyword path.)
-    trials, n_balls, seed, tie_break, block, workers, chunks:
+    trials, n_balls, seed, tie_break, block, backend, workers, chunks:
         Per-call overrides of the corresponding spec fields; with a spec
         these are conveniences (``None`` means "use the spec"), without
         one they form the deprecated legacy signature.
@@ -176,6 +185,7 @@ def run_experiment(
             "seed": seed,
             "tie_break": tie_break,
             "block": block,
+            "backend": backend,
             "workers": workers,
             "chunks": chunks,
         },
@@ -200,6 +210,7 @@ def run_experiment(
                 n_balls=n_balls_run,
                 tie_break=spec.tie_break,
                 block=spec.block,
+                backend=spec.backend,
             ),
             spec.trials,
             seed=spec.seed,

@@ -2,26 +2,29 @@
 
 Strategy
 --------
-The placement of ball *t+1* depends on the loads after ball *t*, so the ball
-loop cannot be vectorized away.  What *can* be vectorized is the trial axis:
-all ``trials`` independent repetitions advance in lock-step, one ball per
-step, with loads held in a single ``(trials, n_bins)`` array.  Each step is
-then four numpy operations over every trial at once:
+The placement of ball *t+1* depends on the loads after ball *t*, so the
+ball loop cannot be vectorized away naively.  Since this release the hot
+path lives in :mod:`repro.kernels`: choices (and integer tie keys) for a
+``block``-ball superblock are generated in one fused pass — a single
+``uint64`` draw per ball for power-of-two double hashing — packed into
+flat int32 candidates, and handed to a placement-kernel backend:
 
-1. draw a ``(trials, d)`` block of choices from the scheme;
-2. gather candidate loads with fancy indexing;
-3. argmin along the choice axis — uniform tie-breaking is implemented by
-   adding U[0,1) noise to the integer loads before the argmin (the noise
-   perturbs order only within a tie class), while "left" tie-breaking is a
-   plain argmin (numpy returns the first minimum);
-4. scatter-increment the chosen bin of each trial.
+- the **numpy** backend commits balls out of sequential order whenever
+  their candidate sets are provably disjoint from all earlier pending
+  balls (exact, bit-identical to sequential placement on the same draws;
+  see :mod:`repro.kernels.numpy_backend`);
+- the optional **numba** backend JIT-compiles the plain sequential loop
+  over the same draws, bit-identical to numpy for the same seed.
 
-Choice blocks and tie-noise are drawn for ``block`` balls at a time to
-amortize RNG call overhead, per the profiling advice in the HPC guides.
+Backend choice: ``backend=`` argument > ``REPRO_BACKEND`` env > auto.
+Geometries beyond the packed layout's address space (``n ≳ 2^23``) fall
+back to the strided per-ball engine, kept here as
+:func:`_simulate_batch_strided`.
 
-Memory: ``loads`` uses int32 — 4 bytes × trials × n_bins (e.g. 64 MiB for
-1000 trials at n = 2^14), and the per-block scratch is
-``block × trials × d`` words.
+Memory: ``loads`` uses int32 — 4 bytes × trials × n_bins — which bounds
+``n_balls`` at ``2**31 - 1``; heavier runs are rejected up front with the
+dtype to use instead.  Kernel scratch is bounded by trial-chunking (see
+:func:`repro.kernels.plan_layout`).
 """
 
 from __future__ import annotations
@@ -30,12 +33,22 @@ import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.hashing.base import ChoiceScheme
+from repro.kernels import (
+    DEFAULT_BLOCK,
+    choose_window,
+    generate_packed,
+    kernel_metrics,
+    plan_layout,
+    resolve_backend,
+)
+from repro.metrics import MetricsRegistry
 from repro.rng import default_generator
 from repro.types import TrialBatchResult
 
 __all__ = ["simulate_batch", "DEFAULT_BLOCK"]
 
-DEFAULT_BLOCK = 128
+_LOAD_DTYPE = np.int32
+_MAX_BALLS = int(np.iinfo(_LOAD_DTYPE).max)
 
 
 def simulate_batch(
@@ -47,6 +60,8 @@ def simulate_batch(
     tie_break: str = "random",
     block: int = DEFAULT_BLOCK,
     check_invariants: bool = False,
+    backend: str | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> TrialBatchResult:
     """Run ``trials`` independent balls-and-bins trials in lock-step.
 
@@ -55,7 +70,7 @@ def simulate_batch(
     scheme:
         Choice generator shared by all trials (stateless per ball).
     n_balls:
-        Balls thrown per trial.
+        Balls thrown per trial; must fit the int32 load table.
     trials:
         Number of independent trials.
     seed:
@@ -64,10 +79,18 @@ def simulate_batch(
         ``"random"`` for the paper's standard scheme, ``"left"`` for
         Vöcking-style leftmost tie-breaking.
     block:
-        Number of ball steps whose randomness is drawn per RNG call.
+        Ball steps generated (and kernel-placed) per superblock.  The
+        default is sweep-derived (see ``docs/performance.md``); it is a
+        throughput/scratch-memory knob, not a semantic one.
     check_invariants:
         If True, verify after the run that every trial placed exactly
         ``n_balls`` balls (cheap O(trials · n_bins) check; used in tests).
+    backend:
+        Kernel backend name (``"numpy"``/``"numba"``); ``None`` defers to
+        ``REPRO_BACKEND`` then auto-detection.
+    metrics:
+        Registry for kernel timers and backend events; defaults to the
+        process-global registry.
 
     Returns
     -------
@@ -76,6 +99,12 @@ def simulate_batch(
     """
     if n_balls < 0:
         raise ConfigurationError(f"n_balls must be non-negative, got {n_balls}")
+    if n_balls > _MAX_BALLS:
+        raise ConfigurationError(
+            f"n_balls={n_balls} overflows the {np.dtype(_LOAD_DTYPE).name} "
+            f"load table (max {_MAX_BALLS}); rerun with loads held in int64 "
+            "(e.g. aggregate several smaller batches) for heavier runs"
+        )
     if trials < 1:
         raise ConfigurationError(f"trials must be positive, got {trials}")
     if block < 1:
@@ -85,16 +114,72 @@ def simulate_batch(
             f"tie_break must be 'random' or 'left', got {tie_break!r}"
         )
     rng = default_generator(seed)
+    impl = resolve_backend(backend, metrics=metrics)
+    registry = metrics if metrics is not None else kernel_metrics()
     n = scheme.n_bins
     d = scheme.d
-    loads = np.zeros((trials, n), dtype=np.int32)
+    loads = np.zeros((trials, n), dtype=_LOAD_DTYPE)
+
+    if n_balls and n == 1:
+        # Degenerate table: every ball lands in the only bin, no RNG needed.
+        loads[:, 0] = n_balls
+    elif n_balls:
+        layout = plan_layout(n, d, tie_break, trials, min(block, n_balls))
+        if layout is None:
+            _simulate_batch_strided(
+                scheme, n_balls, trials, rng, tie_break, block, loads
+            )
+        else:
+            window = choose_window(n, d)
+            bins_p = layout.bins_p
+            for t0 in range(0, trials, layout.trial_chunk):
+                t1 = min(trials, t0 + layout.trial_chunk)
+                chunk = t1 - t0
+                work = np.zeros(chunk * bins_p, dtype=_LOAD_DTYPE)
+                ws = impl.make_workspace(
+                    d=d, trials=chunk, window=window, bins_p=bins_p
+                )
+                remaining = n_balls
+                while remaining > 0:
+                    steps = min(block, remaining)
+                    with registry.timer("kernel.generate_seconds"):
+                        pc = generate_packed(scheme, chunk, steps, rng, layout)
+                    with registry.timer("kernel.place_seconds"):
+                        impl.place(work, pc, layout=layout, workspace=ws)
+                    remaining -= steps
+                loads[t0:t1] = work.reshape(chunk, bins_p)[:, :n]
+            registry.increment("kernel.balls_placed", n_balls * trials)
+            registry.increment(f"kernel.calls.{impl.name}", 1)
+
+    if check_invariants:
+        totals = loads.sum(axis=1, dtype=np.int64)
+        if not np.all(totals == n_balls):
+            raise SimulationError(
+                "ball-conservation violated: expected "
+                f"{n_balls} balls per trial, got totals {np.unique(totals)}"
+            )
+    return TrialBatchResult(n_bins=n, n_balls=n_balls, loads=loads)
+
+
+def _simulate_batch_strided(
+    scheme: ChoiceScheme,
+    n_balls: int,
+    trials: int,
+    rng: np.random.Generator,
+    tie_break: str,
+    block: int,
+    loads: np.ndarray,
+) -> None:
+    """Pre-kernel per-ball engine, kept for geometries beyond the packed
+    layout's address space: one fancy-indexed gather + argmin per ball
+    step, float-noise tie keys, RNG amortized over ``block`` steps."""
+    n = scheme.n_bins
+    d = scheme.d
     rows = np.arange(trials)
     random_ties = tie_break == "random" and d > 1
-
     remaining = n_balls
     while remaining > 0:
         steps = min(block, remaining)
-        # One RNG call yields the choices for `steps` balls of every trial.
         choices = scheme.batch(steps * trials, rng).reshape(steps, trials, d)
         noise = rng.random((steps, trials, d)) if random_ties else None
         for s in range(steps):
@@ -110,12 +195,3 @@ def simulate_batch(
             chosen = ball_choices[rows, picks]
             loads[rows, chosen] += 1
         remaining -= steps
-
-    if check_invariants:
-        totals = loads.sum(axis=1, dtype=np.int64)
-        if not np.all(totals == n_balls):
-            raise SimulationError(
-                "ball-conservation violated: expected "
-                f"{n_balls} balls per trial, got totals {np.unique(totals)}"
-            )
-    return TrialBatchResult(n_bins=n, n_balls=n_balls, loads=loads)

@@ -75,6 +75,14 @@ def _add_spec_options(p: argparse.ArgumentParser, spec: ExperimentSpec) -> None:
         "--chunks", type=int, default=spec.chunks,
         help="trial-chunk count (default: engine picks)",
     )
+    p.add_argument(
+        "--block", type=int, default=spec.block,
+        help="ball-steps per kernel superblock (default: sweep-derived)",
+    )
+    p.add_argument(
+        "--backend", choices=["numpy", "numba"], default=spec.backend,
+        help="placement-kernel backend (default: REPRO_BACKEND, then auto)",
+    )
     p.add_argument("--log2-n", type=int, default=spec.log2_n, dest="log2_n")
     p.add_argument(
         "--sim-time", type=float, default=spec.sim_time, dest="sim_time"
@@ -112,6 +120,8 @@ def _spec_from_args(command: str, args: argparse.Namespace) -> ExperimentSpec:
         seed=args.seed,
         workers=args.workers,
         chunks=args.chunks,
+        block=args.block,
+        backend=args.backend,
         log2_n=args.log2_n,
         sim_time=args.sim_time,
         max_retries=args.retries,

@@ -18,6 +18,7 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.kernels import DEFAULT_BLOCK, KNOWN_BACKENDS
 from repro.parallel.engine import EngineConfig
 
 __all__ = ["ExperimentScale", "ExperimentSpec", "PAPER_VALUES", "TABLE_DEFAULTS"]
@@ -30,7 +31,7 @@ class ExperimentSpec:
     The spec covers four concerns: geometry (``n``, ``d``, ``n_balls``,
     ``log2_n``, ``sim_time``/``burn_in`` for the queueing table),
     sampling (``trials``, ``seed``), execution (``workers``, ``chunks``,
-    ``tie_break``, ``block``), and engine policy (``max_retries``,
+    ``tie_break``, ``block``, ``backend``), and engine policy (``max_retries``,
     ``retry_backoff``, ``chunk_timeout``, ``checkpoint``,
     ``metrics_out``).  Derive variants with :meth:`replace`.
 
@@ -50,7 +51,13 @@ class ExperimentSpec:
     tie_break:
         ``"random"`` (standard) or ``"left"`` (Vöcking).
     block:
-        Ball-steps per RNG call inside the vectorized engine.
+        Ball-steps per generation/kernel superblock inside the vectorized
+        engine.  The default is the sweep-derived
+        :data:`repro.kernels.DEFAULT_BLOCK` (see ``docs/performance.md``).
+    backend:
+        Kernel backend (``"numpy"``/``"numba"``); ``None`` defers to the
+        ``REPRO_BACKEND`` environment variable, then auto-detection.
+        Worker processes inherit the choice.
     workers:
         Process count; 1 runs in-process (still chunked).
     chunks:
@@ -75,7 +82,8 @@ class ExperimentSpec:
     trials: int = 50
     seed: int | None = 1
     tie_break: str = "random"
-    block: int = 128
+    block: int = DEFAULT_BLOCK
+    backend: str | None = None
     workers: int = 1
     chunks: int | None = None
     max_retries: int = 2
@@ -106,6 +114,11 @@ class ExperimentSpec:
             )
         if self.block < 1:
             raise ConfigurationError(f"block must be positive, got {self.block}")
+        if self.backend is not None and self.backend not in KNOWN_BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {KNOWN_BACKENDS} or None, "
+                f"got {self.backend!r}"
+            )
         if self.workers < 0:
             raise ConfigurationError(
                 f"workers must be non-negative, got {self.workers}"

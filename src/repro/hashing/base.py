@@ -61,6 +61,18 @@ class ChoiceScheme(abc.ABC):
         """Choices for one ball of one trial, as a length-``d`` array."""
         return self.batch(1, rng)[0]
 
+    def batch_planar(self, trials: int, rng: np.random.Generator) -> np.ndarray:
+        """Like :meth:`batch` but transposed: a ``(d, trials)`` array.
+
+        Plane ``k`` holds the ``k``-th choice of every ball.  The kernel
+        layer (:mod:`repro.kernels`) consumes this layout so each of its
+        flat gathers walks one contiguous plane.  The default transposes
+        :meth:`batch`; schemes with a natural per-plane recurrence (double
+        hashing's constant stride) override it to skip the transpose and
+        the modulo.
+        """
+        return np.ascontiguousarray(self.batch(trials, rng).T)
+
     @property
     def distinct(self) -> bool:
         """Whether the ``d`` choices within a row are guaranteed distinct.

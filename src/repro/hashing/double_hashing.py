@@ -65,6 +65,30 @@ class DoubleHashingChoices(ChoiceScheme):
         g = sample_units(n, trials, rng)
         return (f[:, None] + g[:, None] * self._ks) % n
 
+    def batch_planar(self, trials: int, rng: np.random.Generator) -> np.ndarray:
+        """Planar ``(d, trials)`` choices via the stride recurrence.
+
+        Plane ``k`` is ``plane[k-1] + g mod n`` computed with one add and
+        a branchless wrap (both summands are in ``[0, n)``), skipping the
+        broadcast multiply, the modulo, and the transpose of the generic
+        path — this is the kernel layer's generation primitive.
+        """
+        n = self.n_bins
+        d = self.d
+        if n == 1:
+            return np.zeros((d, trials), dtype=np.int64)
+        out = np.empty((d, trials), dtype=np.int64)
+        out[0] = rng.integers(0, n, size=trials, dtype=np.int64)
+        g = sample_units(n, trials, rng)
+        for k in range(1, d):
+            plane = out[k]
+            np.add(out[k - 1], g, out=plane)
+            plane -= n
+            wrap = plane >> 63  # -1 where the subtraction went negative
+            wrap &= n
+            plane += wrap
+        return out
+
     def batch_with_hashes(
         self, trials: int, rng: np.random.Generator
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -72,10 +96,19 @@ class DoubleHashingChoices(ChoiceScheme):
 
         Used by analysis code (e.g. ancestry-list studies) that needs to
         reason about the underlying hash values, not just the choices.
+        Shares :meth:`batch`'s ``n == 1`` early return (choices are all
+        zeros, ``f = 0`` and ``g = 1``, no randomness consumed).
         """
         n = self.n_bins
+        if n == 1:
+            zeros = np.zeros(trials, dtype=np.int64)
+            return (
+                np.zeros((trials, self.d), dtype=np.int64),
+                zeros,
+                np.ones(trials, dtype=np.int64),
+            )
         f = rng.integers(0, n, size=trials, dtype=np.int64)
-        g = sample_units(n, trials, rng) if n >= 2 else np.ones(trials, np.int64)
+        g = sample_units(n, trials, rng)
         choices = (f[:, None] + g[:, None] * self._ks) % n
         return choices, f, g
 

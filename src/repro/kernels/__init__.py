@@ -1,0 +1,239 @@
+"""Pluggable placement-kernel backends for the balanced-allocation hot path.
+
+Every table in the paper reduces to the same inner loop — gather candidate
+loads, argmin with tie-breaking, scatter-increment — executed ``m × trials``
+times.  This package isolates that loop behind a small backend registry:
+
+- ``"numpy"`` — always available; the fused out-of-order commit kernel of
+  :mod:`repro.kernels.numpy_backend` (flat ``np.take`` gathers, packed
+  integer tie keys, preallocated scratch reused across blocks).
+- ``"numba"`` — optional; a ``@njit(cache=True)`` whole-block sequential
+  loop over the same packed draws (:mod:`repro.kernels.numba_backend`),
+  bit-identical to numpy for the same seed.  When numba is not importable
+  the registry silently falls back to numpy and logs a
+  ``backend-fallback`` event to the :func:`repro.metrics.global_registry`.
+
+Backend selection order: an explicit ``backend=`` argument (or
+``ExperimentSpec.backend``) wins, then the ``REPRO_BACKEND`` environment
+variable, then auto-detection (numba if importable, else numpy).  Worker
+processes inherit the backend through the pickled chunk task *and* the
+environment variable, so ``run_experiment`` fan-out uses one backend
+everywhere.
+
+The shared data contract (packed candidates, tie keys, dummy padding) is
+documented in :mod:`repro.kernels.generate`; :func:`run_placement_kernel`
+is the single public entry point over raw choice/tie arrays, and
+``simulate_batch`` drives the same machinery with fused generation.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.kernels import numba_backend as _numba_mod
+from repro.kernels.generate import (
+    KEY_SHIFT,
+    KernelLayout,
+    generate_packed,
+    plan_layout,
+)
+from repro.kernels.numpy_backend import NumpyBackend, choose_window
+from repro.kernels.reference import (
+    place_ball,
+    sequential_packed_reference,
+    simulate_single_trial,
+)
+from repro.metrics import MetricsRegistry, global_registry
+
+__all__ = [
+    "DEFAULT_BLOCK",
+    "KEY_SHIFT",
+    "KernelLayout",
+    "available_backends",
+    "choose_window",
+    "generate_packed",
+    "kernel_metrics",
+    "place_ball",
+    "plan_layout",
+    "resolve_backend",
+    "run_placement_kernel",
+    "sequential_packed_reference",
+    "simulate_single_trial",
+]
+
+#: Ball-steps generated (and fed to the kernel) per superblock.  Sweep at
+#: n = 2^12..2^14, d = 3 showed throughput flat past ~2048 steps while
+#: scratch grows linearly, so 4096 sits at the knee; see
+#: ``docs/performance.md``.
+DEFAULT_BLOCK = 4096
+
+ENV_VAR = "REPRO_BACKEND"
+KNOWN_BACKENDS = ("numpy", "numba")
+
+_NUMPY = NumpyBackend()
+_NUMBA = _numba_mod.NumbaBackend() if _numba_mod.NUMBA_AVAILABLE else None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends importable in this process."""
+    return KNOWN_BACKENDS if _NUMBA is not None else ("numpy",)
+
+
+def kernel_metrics() -> MetricsRegistry:
+    """The registry kernel-level timers and fallback events default to."""
+    return global_registry()
+
+
+def _log_fallback(
+    requested: str, source: str, metrics: MetricsRegistry | None
+) -> None:
+    fields = dict(
+        requested=requested,
+        using="numpy",
+        source=source,
+        error=repr(_numba_mod.NUMBA_IMPORT_ERROR),
+    )
+    global_registry().event("backend-fallback", **fields)
+    if metrics is not None and metrics is not global_registry():
+        metrics.event("backend-fallback", **fields)
+
+
+def resolve_backend(name: str | None = None, *, metrics: MetricsRegistry | None = None):
+    """Resolve a backend: explicit ``name`` > ``REPRO_BACKEND`` env > auto.
+
+    Unknown names raise :class:`~repro.errors.ConfigurationError`.
+    Requesting ``"numba"`` where numba is not importable returns the numpy
+    backend and logs a ``backend-fallback`` event (to ``metrics`` when
+    given, and always to the global registry) — runs keep working, the
+    degradation is observable.
+    """
+    source = "explicit"
+    if name is None:
+        name = os.environ.get(ENV_VAR) or None
+        source = "env"
+    if name is None:
+        return _NUMBA if _NUMBA is not None else _NUMPY
+    name = name.strip().lower()
+    if name not in KNOWN_BACKENDS:
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r}; known: {', '.join(KNOWN_BACKENDS)}"
+        )
+    if name == "numba":
+        if _NUMBA is None:
+            _log_fallback("numba", source, metrics)
+            return _NUMPY
+        return _NUMBA
+    return _NUMPY
+
+
+def run_placement_kernel(
+    loads: np.ndarray,
+    choices: np.ndarray,
+    tie_keys: np.ndarray | None = None,
+    *,
+    tie_break: str = "random",
+    backend: str | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> np.ndarray:
+    """Place ``choices`` sequentially into ``loads`` using a kernel backend.
+
+    The raw-array face of the kernel subsystem (``simulate_batch`` wraps
+    it together with fused choice generation).
+
+    Parameters
+    ----------
+    loads:
+        ``(trials, n_bins)`` integer load table, updated in place.
+    choices:
+        ``(trials, steps, d)`` candidate bins; ball ``b`` of trial ``t``
+        goes to the least loaded of ``choices[t, b]``.
+    tie_keys:
+        Optional ``(trials, steps, d)`` non-negative tie-break keys (lower
+        wins among load ties; equal keys fall back to the lower bin).
+        Required to fit the planned layout's tie-key width.  Must be
+        ``None`` for ``tie_break="left"``, where the column index is the
+        tie key by definition.
+    tie_break, backend, metrics:
+        As in ``simulate_batch``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``loads``, for chaining.
+    """
+    if loads.ndim != 2:
+        raise ConfigurationError(f"loads must be 2-D, got shape {loads.shape}")
+    if choices.ndim != 3 or choices.shape[0] != loads.shape[0]:
+        raise ConfigurationError(
+            "choices must be (trials, steps, d) matching loads' trial count; "
+            f"got {choices.shape} vs {loads.shape}"
+        )
+    trials, n_bins = loads.shape
+    _, steps, d = choices.shape
+    if tie_break not in ("random", "left"):
+        raise ConfigurationError(
+            f"tie_break must be 'random' or 'left', got {tie_break!r}"
+        )
+    if tie_break == "left" and tie_keys is not None:
+        raise ConfigurationError(
+            "tie_keys must be None with tie_break='left' (column order rules)"
+        )
+    layout = plan_layout(n_bins, d, tie_break, trials, steps)
+    if layout is None:
+        raise ConfigurationError(
+            f"n_bins={n_bins} exceeds the packed-kernel address space; "
+            "use simulate_batch, which falls back to the strided engine"
+        )
+    if tie_keys is not None:
+        if tie_keys.shape != choices.shape:
+            raise ConfigurationError(
+                f"tie_keys shape {tie_keys.shape} != choices shape {choices.shape}"
+            )
+        if tie_keys.size and (
+            int(tie_keys.min()) < 0 or int(tie_keys.max()) >> layout.tie_bits
+        ):
+            raise ConfigurationError(
+                f"tie_keys must lie in [0, 2**{layout.tie_bits}) for this layout"
+            )
+    if int(loads.min(initial=0)) < 0 or int(loads.max(initial=0)) + steps > (
+        np.iinfo(np.int32).max
+    ):
+        raise ConfigurationError(
+            "loads must be non-negative and fit int32 after placing all balls"
+        )
+    impl = resolve_backend(backend, metrics=metrics)
+    registry = metrics if metrics is not None else kernel_metrics()
+    window = choose_window(n_bins, d)
+    bins_p = layout.bins_p
+    cols = np.arange(d, dtype=np.int32) << np.int32(layout.cidx_bits)
+    with registry.timer("kernel.place_seconds"):
+        for t0 in range(0, trials, layout.trial_chunk):
+            t1 = min(trials, t0 + layout.trial_chunk)
+            ct = t1 - t0
+            work = np.zeros(ct * bins_p, dtype=np.int32)
+            work.reshape(ct, bins_p)[:, :n_bins] = loads[t0:t1]
+            toff = np.arange(ct, dtype=np.int32) * np.int32(bins_p)
+            pc = np.empty((d, ct, steps + 1), dtype=np.int32)
+            pc[:, :, steps] = toff + np.int32(n_bins)
+            body = pc[:, :, :steps]
+            np.copyto(
+                body,
+                choices[t0:t1].transpose(2, 0, 1),
+                casting="unsafe",
+            )
+            if tie_break == "left":
+                if layout.tie_bits:
+                    body += cols[:, None, None]
+            elif tie_keys is not None and layout.tie_bits:
+                keys = tie_keys[t0:t1].transpose(2, 0, 1).astype(np.int32)
+                body += keys << np.int32(layout.cidx_bits)
+            body += toff[:, None]
+            ws = impl.make_workspace(d=d, trials=ct, window=window, bins_p=bins_p)
+            impl.place(work, pc, layout=layout, workspace=ws)
+            loads[t0:t1] = work.reshape(ct, bins_p)[:, :n_bins]
+    registry.increment("kernel.balls_placed", trials * steps)
+    registry.increment(f"kernel.calls.{impl.name}", 1)
+    return loads

@@ -1,0 +1,245 @@
+"""Packed-choice layout planning and generation for the placement kernels.
+
+The kernel backends in this package all consume the same input encoding:
+every candidate bin of every pending ball is packed into one ``int32``::
+
+    packed = tie_key << cidx_bits  |  trial * (n_bins + 1) + bin
+
+The low ``cidx_bits`` hold the *flat candidate index* — the bin index
+offset by its trial's row start in a padded ``(trials, n_bins + 1)`` load
+table — and the high ``tie_bits`` hold the tie-break key.  Prepending the
+current load gives the full 64-bit comparison key
+
+    key = load << 31  |  tie_key << cidx_bits  |  flat_index
+
+whose *minimum over the d candidates* simultaneously decides the placement
+(lexicographic on ``(load, tie_key, bin)``) and, via its low bits, *is* the
+chosen flat bin index — no argmin/advanced-indexing machinery needed.
+
+Tie semantics
+-------------
+- ``tie_break="random"``: ``tie_key`` is uniform random (``tie_bits`` wide,
+  default 10).  Candidates that collide on both load and tie key fall back
+  to the lower bin index — a per-tie bias of order ``2**-tie_bits``, far
+  below the sampling error of any experiment in the paper (the
+  cross-engine equivalence tests in ``tests/kernels`` verify this).
+- ``tie_break="left"``: ``tie_key`` is the candidate's *column index*, so
+  the minimum key reproduces numpy's first-minimum ``argmin`` exactly —
+  including for non-partitioned schemes, where "left" means leftmost
+  choice position, not lowest bin index.
+
+Padding
+-------
+Each trial owns one *dummy bin* (index ``n_bins``) and each generated
+block one *dummy ball* (column ``steps``) whose candidates all point at
+the dummy bin.  Kernel windows past the end of a trial's ball sequence
+park on the dummy ball; it is never committed and the dummy bin never
+collides with a real candidate.
+
+Capacity
+--------
+``tie_bits + cidx_bits == 31`` always (the value bits of an int32), so a
+layout exists whenever ``n_bins + 1`` fits in ``31 - tie_bits`` bits —
+up to ``n ≈ 2**23`` for random tie-breaking.  :func:`plan_layout` returns
+``None`` beyond that and callers fall back to the strided engine.  Trials
+are processed in chunks of :attr:`KernelLayout.trial_chunk` so the flat
+index also stays within the field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hashing.base import ChoiceScheme
+from repro.hashing.double_hashing import DoubleHashingChoices
+
+__all__ = [
+    "KEY_SHIFT",
+    "KernelLayout",
+    "generate_packed",
+    "plan_layout",
+]
+
+# The load field of the comparison key starts above the 31 packed bits;
+# int64 keys then support loads up to 2**32 — beyond the int32 load table.
+KEY_SHIFT = 31
+
+_RANDOM_TIE_BITS = 10       # default tie-key width for "random"
+_MIN_RANDOM_TIE_BITS = 8    # trade down to here before giving up on a layout
+# Per-plane element cap on the packed-choice buffer (~8 MiB of int32 per
+# choice plane) so trial chunking also bounds generation scratch.
+_MAX_PLANE_ELEMENTS = 2 << 20
+
+
+@dataclass(frozen=True)
+class KernelLayout:
+    """Bit layout and chunking plan for one packed-kernel run."""
+
+    n_bins: int
+    d: int
+    tie_break: str
+    tie_bits: int
+    cidx_bits: int
+    trial_chunk: int
+
+    @property
+    def bins_p(self) -> int:
+        """Bins per trial including the dummy padding bin."""
+        return self.n_bins + 1
+
+    @property
+    def cidx_mask(self) -> np.int64:
+        return np.int64((1 << self.cidx_bits) - 1)
+
+
+def plan_layout(
+    n_bins: int, d: int, tie_break: str, trials: int, block: int
+) -> KernelLayout | None:
+    """Plan the packed layout, or ``None`` when ``n_bins`` is too large.
+
+    ``block`` is the ball-steps-per-generation superblock; it only bounds
+    the trial chunk via the scratch-memory cap.
+    """
+    bins_p = n_bins + 1
+    if tie_break == "left":
+        tie_bits = (d - 1).bit_length()
+    else:
+        tie_bits = _RANDOM_TIE_BITS if d > 1 else 0
+    while bins_p > (1 << (KEY_SHIFT - tie_bits)):
+        if tie_break == "random" and tie_bits > _MIN_RANDOM_TIE_BITS:
+            tie_bits -= 1  # trade tie resolution for address space
+        else:
+            return None
+    cidx_bits = KEY_SHIFT - tie_bits
+    chunk = min(
+        trials,
+        (1 << cidx_bits) // bins_p,
+        max(1, _MAX_PLANE_ELEMENTS // (block + 1)),
+    )
+    return KernelLayout(
+        n_bins=n_bins,
+        d=d,
+        tie_break=tie_break,
+        tie_bits=tie_bits,
+        cidx_bits=cidx_bits,
+        trial_chunk=max(1, chunk),
+    )
+
+
+def generate_packed(
+    scheme: ChoiceScheme,
+    trials: int,
+    steps: int,
+    rng: np.random.Generator,
+    layout: KernelLayout,
+) -> np.ndarray:
+    """Packed candidates for ``steps`` balls of ``trials`` trials.
+
+    Returns a ``(d, trials, steps + 1)`` int32 array; column ``steps`` is
+    the dummy ball.  Plane ``j`` holds candidate ``j`` of every ball —
+    the planar layout keeps each kernel gather contiguous per plane.
+    """
+    d = layout.d
+    n = layout.n_bins
+    pc = np.empty((d, trials, steps + 1), dtype=np.int32)
+    toff = np.arange(trials, dtype=np.int32) * np.int32(layout.bins_p)
+    pc[:, :, steps] = toff + np.int32(n)
+    if steps == 0:
+        return pc
+    if _fused_double_pow2_ok(scheme, layout):
+        _fill_double_pow2(trials, steps, rng, layout, pc, toff)
+    else:
+        _fill_generic(scheme, trials, steps, rng, layout, pc, toff)
+    return pc
+
+
+def _fused_double_pow2_ok(scheme: ChoiceScheme, layout: KernelLayout) -> bool:
+    """Whether the single-draw double-hashing fast path applies.
+
+    One uint64 per ball supplies ``f`` (``log2 n`` bits), the odd stride
+    ``g`` (``log2 n - 1`` bits), and all ``d`` tie keys — so the whole
+    choice block needs exactly one RNG call per generation chunk.
+    """
+    n = layout.n_bins
+    if type(scheme) is not DoubleHashingChoices:
+        return False
+    if layout.tie_break != "random":
+        return False
+    if n < 2 or n & (n - 1):
+        return False
+    lb = n.bit_length() - 1
+    return lb + (lb - 1) + layout.d * layout.tie_bits <= 64
+
+
+def _fill_double_pow2(
+    trials: int,
+    steps: int,
+    rng: np.random.Generator,
+    layout: KernelLayout,
+    pc: np.ndarray,
+    toff: np.ndarray,
+    chunk: int = 1024,
+) -> None:
+    """Fused power-of-two double-hashing generation (see above)."""
+    n = layout.n_bins
+    d = layout.d
+    lb = n.bit_length() - 1
+    tie_bits = layout.tie_bits
+    nbits = lb + (lb - 1) + d * tie_bits
+    tie_mask = np.uint64((1 << tie_bits) - 1)
+    toff2 = toff[:, None]
+    # Column-chunked so every per-chunk temporary stays L2-resident.
+    for c0 in range(0, steps, chunk):
+        c1 = min(c0 + chunk, steps)
+        raw = rng.integers(0, 1 << nbits, size=(trials, c1 - c0), dtype=np.uint64)
+        f = (raw & np.uint64(n - 1)).astype(np.int32)
+        g = ((raw >> np.uint64(lb)) & np.uint64(max(n // 2 - 1, 0))).astype(np.int32)
+        g += g
+        g += 1  # force odd: exactly the units mod 2**k
+        cur = f
+        shift = 2 * lb - 1
+        for j in range(d):
+            if j:
+                # Branchless modular stride: cur = (cur + g) mod n without
+                # a division (cur + g < 2n is guaranteed).
+                cur += g
+                cur -= n
+                wrap = cur >> 31
+                wrap &= n
+                cur += wrap
+            bits = ((raw >> np.uint64(shift)) & tie_mask).astype(np.int32)
+            shift += tie_bits
+            out = pc[j, :, c0:c1]
+            np.left_shift(bits, layout.cidx_bits, out=out)
+            out += cur
+            out += toff2
+
+
+def _fill_generic(
+    scheme: ChoiceScheme,
+    trials: int,
+    steps: int,
+    rng: np.random.Generator,
+    layout: KernelLayout,
+    pc: np.ndarray,
+    toff: np.ndarray,
+) -> None:
+    """Any-scheme generation via :meth:`ChoiceScheme.batch_planar`."""
+    d = layout.d
+    planar = scheme.batch_planar(trials * steps, rng)
+    choices = planar.reshape(d, trials, steps)
+    out = pc[:, :, :steps]
+    if layout.tie_break == "random" and layout.tie_bits and d > 1:
+        bits = rng.integers(
+            0, 1 << layout.tie_bits, size=(d, trials, steps), dtype=np.int32
+        )
+        np.left_shift(bits, layout.cidx_bits, out=bits)
+        np.add(bits, choices, out=out, casting="unsafe")
+    else:
+        np.copyto(out, choices, casting="unsafe")
+        if layout.tie_break == "left" and layout.tie_bits:
+            cols = np.arange(d, dtype=np.int32) << np.int32(layout.cidx_bits)
+            out += cols[:, None, None]
+    out += toff[:, None]

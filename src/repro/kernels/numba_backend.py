@@ -1,0 +1,79 @@
+"""Optional Numba JIT placement backend.
+
+Consumes exactly the same packed-candidate arrays as the numpy backend
+(:mod:`repro.kernels.generate`) and walks them with the plain sequential
+loop the process definition describes, compiled with ``@njit(cache=True)``.
+Because the numpy backend's out-of-order commit schedule is a pure
+function of those arrays and provably order-independent, the two backends
+are **bit-identical** for the same seed (asserted in
+``tests/kernels/test_equivalence.py`` whenever numba is installed).
+
+Numba is an optional dependency: importing this module never raises.
+When the import fails, :data:`NUMBA_AVAILABLE` is ``False`` and backend
+resolution in :mod:`repro.kernels` falls back to numpy, logging a
+``backend-fallback`` metrics event.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.generate import KEY_SHIFT, KernelLayout
+
+__all__ = ["NUMBA_AVAILABLE", "NUMBA_IMPORT_ERROR", "NumbaBackend"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+    NUMBA_IMPORT_ERROR: Exception | None = None
+except Exception as _exc:  # ImportError, or a broken install
+    njit = None
+    NUMBA_AVAILABLE = False
+    NUMBA_IMPORT_ERROR = _exc
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+
+    @njit(cache=True)
+    def _place_sequential(
+        loads: np.ndarray, pc: np.ndarray, cidx_mask: np.int64
+    ) -> None:
+        d, trials, steps_p = pc.shape
+        steps = steps_p - 1
+        for t in range(trials):
+            for b in range(steps):
+                best_key = np.int64(0x7FFFFFFFFFFFFFFF)
+                best_ci = np.int64(0)
+                for j in range(d):
+                    p = np.int64(pc[j, t, b])
+                    ci = p & cidx_mask
+                    key = (np.int64(loads[ci]) << KEY_SHIFT) + p
+                    if key < best_key:
+                        best_key = key
+                        best_ci = ci
+                loads[best_ci] += 1
+
+
+class NumbaBackend:
+    """JIT-compiled whole-block sequential loop (requires numba)."""
+
+    name = "numba"
+
+    def make_workspace(
+        self, *, d: int, trials: int, window: int, bins_p: int
+    ) -> None:
+        return None  # the sequential loop carries no scratch state
+
+    def place(
+        self,
+        loads: np.ndarray,
+        pc: np.ndarray,
+        *,
+        layout: KernelLayout,
+        workspace: None = None,
+    ) -> int:
+        if not NUMBA_AVAILABLE:  # pragma: no cover - registry prevents this
+            raise RuntimeError("numba backend selected but numba is not importable")
+        _place_sequential(loads, pc, layout.cidx_mask)
+        return 1

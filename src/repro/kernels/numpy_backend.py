@@ -1,0 +1,191 @@
+"""Fused numpy placement kernel: out-of-order speculative commits.
+
+Why a window
+------------
+Sequential balanced allocation cannot be vectorized along the ball axis
+naively — ball ``t+1`` must see ball ``t``'s placement.  What *is* legal
+is committing any ball whose candidate set is disjoint from the candidate
+sets of **all earlier pending balls**: its placement cannot be affected by
+their (unknown) outcomes, and it cannot affect theirs.  The kernel keeps a
+window of up to ``window`` pending balls per trial and, each pass:
+
+1. gathers the packed candidates of every window slot (flat ``np.take``
+   with precomputed plane offsets, everything into preallocated scratch);
+2. computes each slot's pick against the *frozen* loads via packed
+   integer keys (``load << 31 | tie_key << cidx_bits | flat_bin`` — the
+   minimum's low bits are the chosen bin, see :mod:`repro.kernels.generate`);
+3. detects conflicts with an *ordered stamp* scatter: candidate indices
+   are written in globally descending window order, so each touched bin
+   ends up stamped with the **minimum window position** that references
+   it; a slot violates iff some candidate's stamp precedes it;
+4. commits every non-violating real slot (they are pairwise disjoint, so
+   a plain fancy ``+= 1`` is exact), compacts the violators to the front
+   of the window, and refills from the ball stream.
+
+The first window slot never violates, so every pass commits at least one
+ball per unfinished trial — no livelock.  The committed result is a pure
+function of the drawn candidate/tie arrays and equals the sequential
+reference bit-for-bit (property- and case-tested in ``tests/kernels``).
+
+Epoch stamps
+------------
+The stamp table is never cleared between passes: stamp values are written
+relative to a ``base`` that *decreases* by ``window`` each pass, so any
+stale entry compares as "no violation".  ``base`` is re-armed with one
+``fill`` every ~2**10 passes.
+
+Commit throughput is ``≈ n/d²`` balls per trial-pass (the expected count
+of prefix balls with pairwise-disjoint candidate sets), which makes total
+kernel cost nearly window-invariant past ``window ≈ 64``;
+:func:`choose_window` picks a value on that plateau.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.generate import KEY_SHIFT, KernelLayout
+
+__all__ = ["NumpyBackend", "choose_window"]
+
+_KMUL = np.int64(1 << KEY_SHIFT)
+_STAMP_FAR = np.int32(1 << 30)
+_STAMP_REARM = np.int32(1 << 20)
+
+
+def choose_window(n_bins: int, d: int) -> int:
+    """Pending-window size: on the commits-per-pass plateau (see above)."""
+    return min(192, max(16, n_bins // (d * d * 6)))
+
+
+class NumpyWorkspace:
+    """Preallocated scratch reused across kernel invocations.
+
+    Geometry-keyed on ``(d, trials, window, bins_p)``; per-call buffers
+    (window state, plane offsets) are cheap and rebuilt each ``place``.
+    """
+
+    def __init__(self, d: int, trials: int, window: int, bins_p: int) -> None:
+        self.d = d
+        self.trials = trials
+        self.window = window
+        self.bins_p = bins_p
+        plane = (d, trials, window)
+        row = (trials, window)
+        self.gidx = np.empty(plane, np.int32)
+        self.pcg = np.empty(plane, np.int32)
+        self.cidx = np.empty(plane, np.int32)
+        self.kv = np.empty(plane, np.int32)
+        self.key = np.empty(plane, np.int64)
+        self.sc = np.empty(plane, np.int32)
+        self.scat = np.empty((window, trials, d), np.int32)
+        self.svals = np.empty((window, trials, d), np.int32)
+        self.scmin = np.empty(row, np.int32)
+        self.kmin = np.empty(row, np.int64)
+        self.chosen = np.empty(row, np.int64)
+        self.viol = np.empty(row, bool)
+        self.commit = np.empty(row, bool)
+        self.keep = np.empty(row, bool)
+        self.win = np.empty(row, np.int32)
+        self.win2 = np.empty(row, np.int32)
+        self.stamp = np.full(trials * bins_p, _STAMP_FAR, np.int32)
+        self.base = _STAMP_FAR - np.int32(window)
+        self.u_ix = np.arange(window, dtype=np.int32)[None, :]
+        self.u_desc = np.arange(window - 1, -1, -1, dtype=np.int32)[:, None, None]
+        self.trow = np.arange(trials, dtype=np.int32) * np.int32(window)
+
+
+class NumpyBackend:
+    """The always-available fused numpy backend."""
+
+    name = "numpy"
+
+    def make_workspace(
+        self, *, d: int, trials: int, window: int, bins_p: int
+    ) -> NumpyWorkspace:
+        return NumpyWorkspace(d, trials, window, bins_p)
+
+    def place(
+        self,
+        loads: np.ndarray,
+        pc: np.ndarray,
+        *,
+        layout: KernelLayout,
+        workspace: NumpyWorkspace,
+    ) -> int:
+        """Place every ball of ``pc`` into the flat ``loads`` table.
+
+        ``loads`` is the int32 ``(trials * bins_p,)`` padded table;
+        ``pc`` the packed ``(d, trials, steps + 1)`` candidates.  Returns
+        the number of kernel passes (for instrumentation).
+        """
+        ws = workspace
+        d, trials, steps_p = pc.shape
+        steps = steps_p - 1
+        window = ws.window
+        cidx_mask = layout.cidx_mask
+        pcflat = pc.reshape(-1)
+        # Flat offsets of each (plane, trial) row inside pcflat; cheap to
+        # rebuild per call since steps may differ on the final superblock.
+        goff = (
+            (np.arange(d, dtype=np.int32) * np.int32(trials * steps_p))[:, None, None]
+            + (np.arange(trials, dtype=np.int32) * np.int32(steps_p))[None, :, None]
+        )
+        win = ws.win
+        win[:] = np.minimum(np.arange(window, dtype=np.int32), steps)[None, :]
+        win2 = ws.win2
+        cursor = np.full(trials, min(window, steps), dtype=np.int32)
+        stamp = ws.stamp
+        placed = 0
+        total = trials * steps
+        passes = 0
+        while placed < total:
+            passes += 1
+            if ws.base < _STAMP_REARM:
+                stamp.fill(_STAMP_FAR)
+                ws.base = _STAMP_FAR - np.int32(window)
+            # 1. gather the window's packed candidates
+            np.add(win[None, :, :], goff, out=ws.gidx)
+            pcflat.take(ws.gidx, out=ws.pcg, mode="clip")
+            np.bitwise_and(ws.pcg, cidx_mask, out=ws.cidx)
+            # 2. picks against frozen loads via packed keys
+            loads.take(ws.cidx, out=ws.kv, mode="clip")
+            np.multiply(ws.kv, _KMUL, out=ws.key)
+            ws.key += ws.pcg
+            np.copyto(ws.kmin, ws.key[0])
+            for j in range(1, d):
+                np.minimum(ws.kmin, ws.key[j], out=ws.kmin)
+            np.bitwise_and(ws.kmin, cidx_mask, out=ws.chosen)
+            # 3. ordered stamp round: each touched bin ends up holding the
+            # minimum window position that references it this pass
+            np.copyto(ws.scat, ws.cidx.transpose(2, 1, 0)[::-1])
+            np.add(ws.u_desc, ws.base, out=ws.svals)
+            stamp[ws.scat.reshape(-1)] = ws.svals.reshape(-1)
+            stamp.take(ws.cidx, out=ws.sc, mode="clip")
+            np.copyto(ws.scmin, ws.sc[0])
+            for j in range(1, d):
+                np.minimum(ws.scmin, ws.sc[j], out=ws.scmin)
+            ws.scmin -= ws.base
+            np.less(ws.scmin, ws.u_ix, out=ws.viol)
+            ws.base -= np.int32(window)
+            # 4. commit the disjoint slots, keep the violators
+            real = win != steps
+            np.logical_and(ws.viol, real, out=ws.keep)
+            np.logical_xor(real, ws.keep, out=ws.commit)
+            cb = ws.chosen[ws.commit]
+            loads[cb] += 1
+            placed += cb.size
+            # compact kept slots to the window front (order-preserving)
+            # and refill the tail from each trial's ball cursor
+            nk_t, nk_c = ws.keep.nonzero()
+            cnt = np.bincount(nk_t, minlength=trials).astype(np.int32)
+            starts = np.zeros(trials + 1, np.int32)
+            np.cumsum(cnt, out=starts[1:])
+            rank = np.arange(nk_t.size, dtype=np.int32) - starts[nk_t]
+            np.add(ws.u_ix, cursor[:, None] - cnt[:, None], out=win2)
+            np.minimum(win2, steps, out=win2)
+            win2.reshape(-1)[ws.trow[nk_t] + rank] = win[nk_t, nk_c]
+            win, win2 = win2, win
+            np.minimum(cursor + (window - cnt), steps, out=cursor)
+        ws.win, ws.win2 = win, win2
+        return passes

@@ -28,7 +28,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["MetricsRegistry", "TimerStats"]
+__all__ = ["MetricsRegistry", "TimerStats", "global_registry"]
 
 
 @dataclass
@@ -166,3 +166,23 @@ class MetricsRegistry:
     def save(self, path: str | Path) -> None:
         """Write the snapshot as pretty-printed JSON."""
         Path(path).write_text(json.dumps(self.snapshot(), indent=2, sort_keys=True))
+
+
+_global_registry: MetricsRegistry | None = None
+_global_lock = threading.Lock()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide default registry (created on first use).
+
+    Library layers that have no caller-supplied registry — most notably
+    the kernel backends in :mod:`repro.kernels`, whose backend-fallback
+    events must be observable even from code that never constructs a
+    registry — publish here.  Runs that pass an explicit registry are
+    unaffected.
+    """
+    global _global_registry
+    with _global_lock:
+        if _global_registry is None:
+            _global_registry = MetricsRegistry()
+        return _global_registry

@@ -13,6 +13,7 @@ The fast paths exploit the two geometries the paper highlights:
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 import numpy as np
 
@@ -51,6 +52,19 @@ def _is_power_of_two(n: int) -> bool:
     return n >= 1 and (n & (n - 1)) == 0
 
 
+# Small composite moduli get an enumerated unit table (one gcd sweep,
+# cached): sampling becomes a single exact-uniform indexed draw instead of
+# rejection rounds.  The cap bounds cache memory at a few hundred KiB.
+_UNIT_TABLE_MAX = 4096
+
+
+@lru_cache(maxsize=128)
+def _unit_table(n: int) -> np.ndarray:
+    table = units_mod(n)
+    table.setflags(write=False)  # shared across callers; must stay frozen
+    return table
+
+
 def sample_units(
     n: int, size: int | tuple[int, ...], rng: np.random.Generator
 ) -> np.ndarray:
@@ -67,7 +81,9 @@ def sample_units(
 
     Notes
     -----
-    Prime and power-of-two moduli use direct sampling; other moduli use
+    Prime and power-of-two moduli use closed-form direct sampling; small
+    composite moduli (``n <= 4096``) draw one index into a cached unit
+    table (exact uniform, one RNG call); larger composite moduli use
     rejection sampling, re-drawing only the rejected positions each round.
     """
     if n < 2:
@@ -79,6 +95,9 @@ def sample_units(
         return 2 * rng.integers(0, n // 2, size=size, dtype=np.int64) + 1
     if is_prime(n):
         return rng.integers(1, n, size=size, dtype=np.int64)
+    if n <= _UNIT_TABLE_MAX:
+        table = _unit_table(n)
+        return table[rng.integers(0, table.size, size=size)]
     out = rng.integers(1, n, size=size, dtype=np.int64)
     bad = np.gcd(out, n) != 1
     while bad.any():

@@ -18,7 +18,9 @@ its customers' arrival order, kept in per-queue FIFO lists.
 
 Randomness budget: choice rows are prefetched from the scheme in blocks to
 amortize numpy call overhead, and event-type/inter-arrival draws are also
-blocked.
+blocked.  Tie-breaking among shortest candidates uses packed integer keys
+(``length << TIE_BITS | random_bits``) shared with the kernel layer's
+convention — one integer argmin per arrival, no float-noise temporaries.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.hashing.base import ChoiceScheme
+from repro.kernels import resolve_backend
 from repro.queueing.events import IndexedSet
 from repro.queueing.measures import SojournAccumulator
 from repro.rng import default_generator
@@ -35,6 +38,9 @@ from repro.types import QueueingResult
 __all__ = ["simulate_supermarket"]
 
 _PREFETCH = 4096
+# Tie-key width: collisions (equal length and key) fall back to the first
+# candidate with probability 2**-20 per tie — unobservable at paper scale.
+_TIE_BITS = 20
 
 
 def simulate_supermarket(
@@ -47,6 +53,7 @@ def simulate_supermarket(
     max_total_jobs: int | None = None,
     track_tails: bool = False,
     tie_break: str = "random",
+    backend: str | None = None,
 ) -> QueueingResult:
     """Simulate the supermarket model and report mean sojourn time.
 
@@ -77,6 +84,11 @@ def simulate_supermarket(
         ``"random"`` (the standard model) or ``"left"`` — join the first
         shortest candidate in choice order, the asymmetric rule matching
         Vöcking's scheme when used with a partitioned choice scheme.
+    backend:
+        Kernel-backend name, threaded through for uniformity with the
+        balls-and-bins engines: it is validated (and a numba request
+        without numba installed logs the standard fallback event), but
+        the event-driven loop itself is scalar either way.
     """
     if not 0.0 < lam < 1.0:
         raise ConfigurationError(f"lambda must be in (0, 1), got {lam}")
@@ -90,6 +102,7 @@ def simulate_supermarket(
         raise ConfigurationError(
             f"tie_break must be 'random' or 'left', got {tie_break!r}"
         )
+    resolve_backend(backend)
     rng = default_generator(seed)
     n = scheme.n_bins
     if max_total_jobs is None:
@@ -125,7 +138,9 @@ def simulate_supermarket(
 
     # Prefetched randomness (refilled when exhausted).
     choice_block = scheme.batch(_PREFETCH, rng)
-    tie_noise = rng.random((_PREFETCH, scheme.d))
+    tie_keys = rng.integers(
+        0, 1 << _TIE_BITS, size=(_PREFETCH, scheme.d), dtype=np.int64
+    )
     choice_idx = 0
     uniform_block = rng.random(_PREFETCH)
     expo_block = rng.exponential(1.0, _PREFETCH)
@@ -150,16 +165,23 @@ def simulate_supermarket(
         if is_arrival:
             if choice_idx >= _PREFETCH:
                 choice_block = scheme.batch(_PREFETCH, rng)
-                tie_noise = rng.random((_PREFETCH, scheme.d))
+                tie_keys = rng.integers(
+                    0, 1 << _TIE_BITS, size=(_PREFETCH, scheme.d), dtype=np.int64
+                )
                 choice_idx = 0
             choices = choice_block[choice_idx]
             lengths = queue_len[choices]
             if left_ties:
                 target = int(choices[np.argmin(lengths)])
             else:
-                # U[0,1) noise on integer lengths = uniform tie-breaking.
+                # Packed integer keys: ordering between distinct lengths
+                # is preserved; ties are broken by the random key bits.
                 target = int(
-                    choices[np.argmin(lengths + tie_noise[choice_idx])]
+                    choices[
+                        np.argmin(
+                            (lengths << _TIE_BITS) | tie_keys[choice_idx]
+                        )
+                    ]
                 )
             choice_idx += 1
             fifos[target].append(now)

@@ -115,6 +115,12 @@ class TestVectorizedEngine:
         with pytest.raises(ConfigurationError):
             simulate_batch(FullyRandomChoices(8, 2), 8, 0)
 
+    def test_n_balls_overflowing_int32_rejected(self):
+        """The int32 load table caps a trial at 2**31 - 1 balls; asking for
+        more must fail loudly up front, naming the remedy."""
+        with pytest.raises(ConfigurationError, match="int64"):
+            simulate_batch(FullyRandomChoices(8, 2), 2**31, 1)
+
     def test_one_choice_degenerate(self):
         batch = simulate_batch(FullyRandomChoices(16, 1), 64, 5, seed=9)
         assert (batch.loads.sum(axis=1) == 64).all()

@@ -1,0 +1,75 @@
+"""Fixed-seed goldens for the scalar reference engine.
+
+``tests/data/golden_reference.json`` was captured from the pre-kernel tree:
+for five (scheme, n, d, seed, tie_break, n_balls) cases it records the
+sha256 of the little-endian int64 load vector plus cheap summaries.  The
+kernel refactor moved ``simulate_single_trial`` verbatim into
+:mod:`repro.kernels.reference`; these tests pin down that the move (and any
+future edit) preserves the RNG stream bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import simulate_single_trial
+from repro.hashing import DoubleHashingChoices, FullyRandomChoices
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_reference.json"
+
+CASES = {
+    "double_n256_d2_s7": dict(
+        scheme=lambda: DoubleHashingChoices(256, 2), n_balls=256, seed=7,
+        tie_break="random",
+    ),
+    "double_n1024_d3_s42": dict(
+        scheme=lambda: DoubleHashingChoices(1024, 3), n_balls=1024, seed=42,
+        tie_break="random",
+    ),
+    "random_n512_d3_s11": dict(
+        scheme=lambda: FullyRandomChoices(512, 3), n_balls=512, seed=11,
+        tie_break="random",
+    ),
+    "double_n512_d4_s3_left": dict(
+        scheme=lambda: DoubleHashingChoices(512, 4), n_balls=512, seed=3,
+        tie_break="left",
+    ),
+    "random_n128_d2_s99_heavy": dict(
+        scheme=lambda: FullyRandomChoices(128, 2), n_balls=2048, seed=99,
+        tie_break="random",
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+def test_golden_file_covers_all_cases(golden):
+    assert set(golden) == set(CASES)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_single_trial_matches_golden(golden, name):
+    case = CASES[name]
+    loads = simulate_single_trial(
+        case["scheme"](),
+        case["n_balls"],
+        seed=case["seed"],
+        tie_break=case["tie_break"],
+        return_loads=True,
+    )
+    loads = np.asarray(loads, dtype=np.int64)
+    want = golden[name]
+    assert int(loads.sum()) == want["sum"]
+    assert int(loads.max()) == want["max"]
+    assert loads[:8].tolist() == want["head"]
+    digest = hashlib.sha256(loads.astype("<i8").tobytes()).hexdigest()
+    assert digest == want["sha256"]

@@ -48,11 +48,22 @@ class TestSpec:
             {"workers": -1},
             {"max_retries": -1},
             {"chunk_timeout": -2.0},
+            {"backend": "fortran"},
         ],
     )
     def test_validation(self, bad):
         with pytest.raises(ConfigurationError):
             ExperimentSpec(**bad)
+
+    def test_backend_field(self):
+        assert ExperimentSpec().backend is None
+        assert ExperimentSpec(backend="numpy").backend == "numpy"
+        assert ExperimentSpec(backend="numba").backend == "numba"
+
+    def test_block_default_is_kernel_default(self):
+        from repro.kernels import DEFAULT_BLOCK
+
+        assert ExperimentSpec().block == DEFAULT_BLOCK
 
     def test_engine_config_mirrors_spec(self):
         spec = ExperimentSpec(
@@ -191,6 +202,24 @@ class TestCliSpecDefaults:
         assert args.metrics_out == "/tmp/m.json"
         assert args.progress is True
         assert args.chunks == 2
+
+    def test_backend_and_block_flags_parse_and_thread(self):
+        from repro.experiments.cli import _spec_from_args
+
+        args = build_parser().parse_args(
+            ["table1", "--backend", "numpy", "--block", "512"]
+        )
+        assert args.backend == "numpy" and args.block == 512
+        spec = _spec_from_args("table1", args)
+        assert spec.backend == "numpy" and spec.block == 512
+
+    def test_backend_flag_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--backend", "fortran"])
+
+    def test_backend_default_is_none(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.backend is None
 
     def test_metrics_out_end_to_end(self, tmp_path, capsys):
         path = tmp_path / "m.json"

@@ -136,6 +136,41 @@ class TestDoubleHashingStructure:
         scheme = DoubleHashingChoices(1, 1)
         assert (scheme.batch(10, rng) == 0).all()
 
+    def test_batch_with_hashes_single_bin(self):
+        """Regression: with n == 1, ``batch_with_hashes`` must share
+        ``batch``'s early return — all-zero choices, f = 0, g = 1, and
+        crucially *no RNG consumption* (the old code drew f and g anyway,
+        desynchronizing it from ``batch``)."""
+        scheme = DoubleHashingChoices(1, 1)
+        rng = np.random.default_rng(123)
+        state_before = rng.bit_generator.state
+        choices, f, g = scheme.batch_with_hashes(50, rng)
+        assert rng.bit_generator.state == state_before
+        assert choices.shape == (50, 1) and (choices == 0).all()
+        assert (f == 0).all() and (g == 1).all()
+        assert np.array_equal(
+            choices, scheme.batch(50, np.random.default_rng(123))
+        )
+
+    def test_batch_with_hashes_two_bins(self, rng):
+        """n == 2 is the smallest table with a real stride: the only unit
+        mod 2 is 1, so d = 2 choices must alternate."""
+        scheme = DoubleHashingChoices(2, 2)
+        choices, f, g = scheme.batch_with_hashes(400, rng)
+        assert (g == 1).all()
+        assert np.array_equal(choices[:, 0], f % 2)
+        assert (choices[:, 0] != choices[:, 1]).all()
+
+    def test_batch_planar_matches_batch(self):
+        """The planar (d, trials) layout is the transposed row layout for
+        the same generator state."""
+        for n, d in ((2, 2), (31, 3), (64, 3)):
+            scheme = DoubleHashingChoices(n, d)
+            rows = scheme.batch(300, np.random.default_rng(7))
+            planes = scheme.batch_planar(300, np.random.default_rng(7))
+            assert planes.shape == (d, 300)
+            assert np.array_equal(planes, rows.T)
+
 
 class TestPartitionedStructure:
     @pytest.mark.parametrize("cls", [PartitionedFullyRandom, PartitionedDoubleHashing])

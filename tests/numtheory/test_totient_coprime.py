@@ -115,3 +115,33 @@ class TestSampleUnits:
     def test_rejects_tiny_modulus(self, rng):
         with pytest.raises(ValueError):
             sample_units(1, 5, rng)
+
+    def test_small_composite_uses_cached_table(self, rng):
+        """Small composite moduli sample from a cached unit table (one
+        bounded draw, no rejection loop); results must still be exactly
+        the units."""
+        from repro.numtheory.coprime import _UNIT_TABLE_MAX, _unit_table
+
+        _unit_table.cache_clear()
+        out = sample_units(360, 2000, rng)
+        assert _unit_table.cache_info().misses == 1
+        sample_units(360, 10, rng)
+        assert _unit_table.cache_info().hits == 1
+        assert np.all(np.gcd(out, 360) == 1)
+        assert set(np.unique(out)) <= set(units_mod(360).tolist())
+        assert _UNIT_TABLE_MAX >= 360
+
+    def test_cached_table_is_immutable(self):
+        from repro.numtheory.coprime import _unit_table
+
+        table = _unit_table(100)
+        with pytest.raises(ValueError):
+            table[0] = 99
+
+    def test_large_composite_falls_back_to_rejection(self, rng):
+        from repro.numtheory.coprime import _UNIT_TABLE_MAX
+
+        n = 6 * 1024  # composite, above the table cap
+        assert n > _UNIT_TABLE_MAX
+        out = sample_units(n, 300, rng)
+        assert np.all(np.gcd(out, n) == 1)

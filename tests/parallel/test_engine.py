@@ -148,7 +148,7 @@ class TestRetries:
             scheme=DoubleHashingChoices(256, 3),
             n_balls=256,
             tie_break="random",
-            block=128,
+            block=spec.block,
         )
         engine = ExecutionEngine(
             EngineConfig(workers=1, chunks=4, retry_backoff=0.0)

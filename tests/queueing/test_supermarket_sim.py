@@ -34,6 +34,14 @@ class TestBasics:
             simulate_supermarket(scheme, 0.5, -1.0)
         with pytest.raises(ConfigurationError):
             simulate_supermarket(scheme, 0.5, 10.0, burn_in=20.0)
+        with pytest.raises(ConfigurationError):
+            simulate_supermarket(scheme, 0.5, 10.0, backend="fortran")
+
+    def test_backend_kwarg_accepted(self):
+        res = simulate_supermarket(
+            FullyRandomChoices(16, 2), 0.5, 20.0, seed=4, backend="numpy"
+        )
+        assert res.completed_jobs > 0
 
     def test_stability_guard_trips_on_tiny_budget(self):
         with pytest.raises(StabilityError):
