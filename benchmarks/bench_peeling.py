@@ -1,6 +1,6 @@
 """Bench: the peeling experiment of the follow-up paper [30].
 
-Verifies, at a density sweep around the d = 3 threshold (0.81847):
+Verifies, at a density sweep around the d = 3 threshold (≈0.818):
 
 - fully random: sharp success/failure transition at the DE threshold;
 - double hashing: same *core-fraction* behaviour, but a constant-rate

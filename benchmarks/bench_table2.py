@@ -1,16 +1,17 @@
 """Bench: regenerate paper Table 2 — fluid limit vs simulated tails.
 
-Paper rows (d = 3): tail >= 1: 0.8231 (all three columns), tail >= 2:
-0.1765 / 0.1764 / 0.1764, tail >= 3: 0.00051 everywhere.
+Paper rows (d = 3, registry anchors ``table2/*``): the fluid column and
+both simulated columns agree to the fourth decimal at every tail level.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.certify.anchors import paper_values
 from repro.experiments import table2_fluid_vs_simulation
 
-PAPER = {1: 0.8231, 2: 0.1765, 3: 0.00051}
+PAPER = paper_values()["table2"]["fluid"]
 
 
 def bench_table2(benchmark, scale, attach, track_chunks):

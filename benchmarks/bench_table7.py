@@ -1,17 +1,18 @@
 """Bench: regenerate paper Table 7 — Vöcking's d-left scheme.
 
-Paper shape (d = 4): fractions 0.12421 / 0.75159 / 0.12421 at loads
-0/1/2 for both schemes (and bins of load 3 essentially never appear at
-this scale).
+Paper shape (d = 4, registry anchors ``table7/n18/random/load*``):
+symmetric fractions at loads 0/2 around a dominant load-1 mass, for
+both schemes (bins of load 3 essentially never appear at this scale).
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.certify.anchors import paper_values
 from repro.experiments import table7_dleft
 
-PAPER = {0: 0.12421, 1: 0.75159, 2: 0.12421}
+PAPER = paper_values()["table7"][(18, "random")]
 
 
 def bench_table7(benchmark, scale, attach):

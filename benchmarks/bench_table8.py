@@ -1,19 +1,24 @@
 """Bench: regenerate paper Table 8 — supermarket queueing sojourn times.
 
-Paper rows: (λ=0.9, d=3) -> 2.028, (0.9, 4) -> 1.778, (0.99, 3) -> 3.860,
-(0.99, 4) -> 3.243, with double hashing within 0.1% of fully random.  The
-bench runs λ = 0.9 at reduced scale (λ = 0.99 needs far longer horizons to
-equilibrate; the fluid column covers it exactly) and checks both schemes
-land near the fluid equilibrium.
+Paper rows are the registry anchors ``table8/lam*/d*/random``, with
+double hashing within 0.1% of fully random.  The bench runs λ = 0.9 at
+reduced scale (λ = 0.99 needs far longer horizons to equilibrate; the
+fluid column covers it exactly) and checks both schemes land near the
+fluid equilibrium.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.certify.anchors import paper_values
 from repro.experiments import table8_queueing
 
-PAPER = {(0.9, 3): 2.02805, (0.9, 4): 1.77788}
+PAPER = {
+    (lam, d): value
+    for (lam, d, role), value in paper_values()["table8"].items()
+    if role == "random" and lam == 0.9
+}
 
 
 def bench_table8(benchmark, scale, attach):

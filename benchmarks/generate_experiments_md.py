@@ -1,199 +1,27 @@
 #!/usr/bin/env python3
-"""Regenerate the measured columns of EXPERIMENTS.md.
+"""Regenerate EXPERIMENTS.md.
 
-Runs every table experiment at a larger-than-bench scale (a few minutes
-total) and prints a paper-vs-measured markdown report to stdout.
+Thin wrapper over :func:`repro.certify.experiments_md.render_experiments_md`,
+which owns the document layout and pulls every paper column from the
+anchor registry.  Output is deterministic (pinned seeds, no timing line),
+so regenerating without a registry or code change is a no-op diff.
 
 Usage:  python benchmarks/generate_experiments_md.py > EXPERIMENTS.md
+
+To only verify the committed document's paper columns against the
+registry (no experiments run):  python -m repro certify --check-drift
 """
 
 from __future__ import annotations
 
 import sys
-import time
 
-from repro.experiments import (
-    PAPER_VALUES,
-    ExperimentSpec,
-    table1_load_fractions,
-    table2_fluid_vs_simulation,
-    table3_larger_n,
-    table4_max_load,
-    table5_level_stats,
-    table6_heavy_load,
-    table7_dleft,
-    table8_queueing,
-)
-
-SCALE_NOTE = (
-    "Measured columns regenerated by `benchmarks/generate_experiments_md.py`"
-    " at reduced scale (see the per-table parameters); paper columns"
-    " transcribed from arXiv:1209.5360v4.  Sampling error at these scales is"
-    " a few units in the fourth decimal place for load fractions."
-)
+from repro.certify.experiments_md import render_experiments_md
 
 
-def fmt(x: float) -> str:
-    if x == 0:
-        return "0"
-    if abs(x) < 5e-5:
-        return f"{x:.2e}"
-    return f"{x:.5f}"
-
-
-def emit(line: str = "") -> None:
-    print(line)
-
-
-def main() -> None:
-    t_start = time.time()
-    emit("# EXPERIMENTS — paper vs. measured")
-    emit()
-    emit(SCALE_NOTE)
-    emit()
-
-    # ---- Table 1 -----------------------------------------------------------
-    emit("## Table 1 — load fractions, n = 2^14 balls and bins")
-    emit()
-    for d in (3, 4):
-        t = table1_load_fractions(ExperimentSpec(n=2**14, d=d, trials=400, seed=1))
-        paper_r = PAPER_VALUES["table1"][(d, "random")]
-        paper_d = PAPER_VALUES["table1"][(d, "double")]
-        emit(f"### {d} choices (trials=400 here vs 10000 in the paper)")
-        emit()
-        emit("| Load | paper random | measured random | paper double | measured double |")
-        emit("|---|---|---|---|---|")
-        for load, rand, dbl in t.rows:
-            pr = fmt(paper_r[load]) if load in paper_r else "-"
-            pd = fmt(paper_d[load]) if load in paper_d else "-"
-            emit(f"| {load} | {pr} | {fmt(rand)} | {pd} | {fmt(dbl)} |")
-        emit()
-
-    # ---- Table 2 -----------------------------------------------------------
-    emit("## Table 2 — fluid limit vs simulation, 3 choices, n = 2^14")
-    emit()
-    t = table2_fluid_vs_simulation(ExperimentSpec(n=2**14, d=3, trials=400, seed=2))
-    paper = PAPER_VALUES["table2"]
-    emit("| Tail load | paper fluid | measured fluid | paper random | measured random | paper double | measured double |")
-    emit("|---|---|---|---|---|---|---|")
-    for load, fluid, rand, dbl in t.rows:
-        if load in paper["fluid"]:
-            emit(
-                f"| >= {load} | {fmt(paper['fluid'][load])} | {fmt(fluid)} |"
-                f" {fmt(paper['random'][load])} | {fmt(rand)} |"
-                f" {fmt(paper['double'][load])} | {fmt(dbl)} |"
-            )
-    emit()
-
-    # ---- Table 3 -----------------------------------------------------------
-    emit("## Table 3 — larger n (here 2^16; paper also reports 2^18)")
-    emit()
-    for d in (3, 4):
-        t = table3_larger_n(ExperimentSpec(d=d, log2_n=16, trials=60, seed=3))
-        paper_r = PAPER_VALUES["table3"][(16, d, "random")]
-        paper_d = PAPER_VALUES["table3"][(16, d, "double")]
-        emit(f"### {d} choices, n = 2^16 (trials=60 here vs 10000)")
-        emit()
-        emit("| Load | paper random | measured random | paper double | measured double |")
-        emit("|---|---|---|---|---|")
-        for load, rand, dbl in t.rows:
-            pr = fmt(paper_r[load]) if load in paper_r else "-"
-            pd = fmt(paper_d[load]) if load in paper_d else "-"
-            emit(f"| {load} | {pr} | {fmt(rand)} | {pd} | {fmt(dbl)} |")
-        emit()
-
-    # ---- Table 4 -----------------------------------------------------------
-    emit("## Table 4 — % of trials with maximum load 3")
-    emit()
-    for d, sizes in ((3, (10, 11, 12, 13, 14)), (4, (10, 12, 14))):
-        t = table4_max_load(
-            ExperimentSpec(d=d, trials=400, seed=4), log2_n_values=sizes
-        )
-        paper = PAPER_VALUES["table4"][(d, "random")]
-        paper_dh = PAPER_VALUES["table4"][(d, "double")]
-        emit(f"### {d} choices (trials=400 here vs 10000)")
-        emit()
-        emit("| n | paper random | measured random | paper double | measured double |")
-        emit("|---|---|---|---|---|")
-        for (label, rand, dbl), log2_n in zip(t.rows, sizes):
-            emit(
-                f"| {label} | {paper.get(log2_n, '-')} | {rand:.2f} |"
-                f" {paper_dh.get(log2_n, '-')} | {dbl:.2f} |"
-            )
-        emit()
-
-    # ---- Table 5 -----------------------------------------------------------
-    emit("## Table 5 — per-load count statistics, 4 choices")
-    emit()
-    emit("Paper used n = 2^18; here n = 2^16 with trials=60, so compare the")
-    emit("*relative* spread (std/mean) and the mean/n fractions.")
-    emit()
-    t = table5_level_stats(ExperimentSpec(n=2**16, d=4, trials=60, seed=5))
-    emit("| Scheme | Load | min | avg | max | std | avg/n | paper avg/n |")
-    emit("|---|---|---|---|---|---|---|---|")
-    paper5 = PAPER_VALUES["table5"]
-    for scheme, load, mn, avg, mx, std in t.rows:
-        ref = paper5[scheme].get(load)
-        paper_frac = f"{ref['avg'] / 2**18:.5f}" if ref else "-"
-        emit(
-            f"| {scheme} | {load} | {mn} | {avg:.2f} | {mx} | {std:.2f} |"
-            f" {avg / 2**16:.5f} | {paper_frac} |"
-        )
-    emit()
-
-    # ---- Table 6 -----------------------------------------------------------
-    emit("## Table 6 — heavily loaded: 16 balls per bin")
-    emit()
-    for d in (3, 4):
-        t = table6_heavy_load(
-            ExperimentSpec(n=2**12, d=d, trials=40, seed=6), balls_per_bin=16
-        )
-        paper_r = PAPER_VALUES["table6"][(d, "random")]
-        emit(f"### {d} choices, 2^16 balls into 2^12 bins (paper: 2^18 into 2^14)")
-        emit()
-        emit("| Load | paper random | measured random | measured double | fluid limit |")
-        emit("|---|---|---|---|---|")
-        for load, rand, dbl, fluid in t.rows:
-            pr = fmt(paper_r[load]) if load in paper_r else "-"
-            emit(f"| {load} | {pr} | {fmt(rand)} | {fmt(dbl)} | {fmt(fluid)} |")
-        emit()
-
-    # ---- Table 7 -----------------------------------------------------------
-    emit("## Table 7 — Vöcking's d-left scheme, 4 choices, n = 2^14")
-    emit()
-    t = table7_dleft(ExperimentSpec(n=2**14, d=4, trials=400, seed=7))
-    paper_r = PAPER_VALUES["table7"][(14, "random")]
-    paper_d = PAPER_VALUES["table7"][(14, "double")]
-    emit("| Load | paper random | measured random | paper double | measured double | fluid |")
-    emit("|---|---|---|---|---|---|")
-    for load, rand, dbl, fluid in t.rows:
-        pr = fmt(paper_r[load]) if load in paper_r else "-"
-        pd = fmt(paper_d[load]) if load in paper_d else "-"
-        emit(f"| {load} | {pr} | {fmt(rand)} | {pd} | {fmt(dbl)} | {fmt(fluid)} |")
-    emit()
-
-    # ---- Table 8 -----------------------------------------------------------
-    emit("## Table 8 — supermarket model, mean time in system")
-    emit()
-    emit("Paper: n = 2^14 queues, 100 runs x 10000 s.  Here: n = 2^10,")
-    emit("one run of 2000 s per cell (burn-in 200 s).  The fluid equilibrium")
-    emit("column is exact and scale-free.")
-    emit()
-    t = table8_queueing(
-        ExperimentSpec(n=2**10, sim_time=2000.0, burn_in=200.0, seed=8),
-        lambdas=(0.9, 0.99), d_values=(3, 4),
-    )
-    emit("| lambda | d | paper random | measured random | paper double | measured double | fluid eq. |")
-    emit("|---|---|---|---|---|---|---|")
-    for lam, d, rand, dbl, fluid in t.rows:
-        pr = PAPER_VALUES["table8"][(lam, d, "random")]
-        pd = PAPER_VALUES["table8"][(lam, d, "double")]
-        emit(
-            f"| {lam} | {d} | {pr} | {rand:.5f} | {pd} | {dbl:.5f} |"
-            f" {fluid:.5f} |"
-        )
-    emit()
-    emit(f"_Total regeneration time: {time.time() - t_start:.0f} s._")
+def main() -> int:
+    print(render_experiments_md())
+    return 0
 
 
 if __name__ == "__main__":

@@ -27,8 +27,12 @@ from repro.analysis.branching import (
 )
 from repro.analysis.comparison import (
     ComparisonReport,
+    HolmResult,
     chi_square_comparison,
     compare_distributions,
+    cramers_v,
+    holm_correction,
+    sampling_envelope,
     total_variation,
 )
 from repro.analysis.dleft_bound import (
@@ -44,6 +48,13 @@ from repro.analysis.majorization import (
     coupled_majorization_run,
     majorizes,
 )
+from repro.analysis.max_load_stats import (
+    MaxLoadComparison,
+    bootstrap_fraction_ci,
+    bootstrap_mean_ci,
+    compare_max_loads,
+    max_load_fraction_ci,
+)
 from repro.analysis.witness_extraction import (
     WitnessTree,
     extract_witness_tree,
@@ -56,19 +67,28 @@ from repro.analysis.witness_tree import (
 
 __all__ = [
     "ComparisonReport",
+    "HolmResult",
+    "MaxLoadComparison",
+    "WitnessTree",
     "beta_trajectory",
+    "bootstrap_fraction_ci",
+    "bootstrap_mean_ci",
     "chi_square_comparison",
     "compare_distributions",
-    "WitnessTree",
+    "compare_max_loads",
     "coupled_majorization_run",
+    "cramers_v",
     "dleft_max_load_bound",
     "expected_population",
     "extract_witness_tree",
+    "holm_correction",
     "layered_induction_bound",
     "leaf_activation_bound",
     "majorizes",
+    "max_load_fraction_ci",
     "pair_collision_bound",
     "phi_d",
+    "sampling_envelope",
     "simulate_branching_population",
     "symmetric_max_load_coefficient",
     "total_variation",

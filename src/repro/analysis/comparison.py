@@ -12,11 +12,17 @@ fully random hashing.  This module quantifies that:
   trial count, the yardstick the paper's "well within experimental
   variance" refers to;
 - :func:`compare_distributions` — all of the above in one report object
-  with an overall verdict.
+  with an overall verdict;
+- :func:`cramers_v` — the chi-square effect size, so "not significant"
+  can be distinguished from "significant but negligible";
+- :func:`holm_correction` — step-down multiple-testing control, used by
+  the certification runner when one claim is tested across many tables
+  and load levels at once.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,8 +32,11 @@ from repro.types import LoadDistribution
 
 __all__ = [
     "ComparisonReport",
+    "HolmResult",
     "chi_square_comparison",
     "compare_distributions",
+    "cramers_v",
+    "holm_correction",
     "sampling_envelope",
     "total_variation",
 ]
@@ -93,6 +102,90 @@ def chi_square_comparison(
         return (0.0, 1.0, 0)
     statistic, p_value, dof, _ = sps.chi2_contingency(table)
     return (float(statistic), float(p_value), int(dof))
+
+
+def cramers_v(a: LoadDistribution, b: LoadDistribution) -> float:
+    """Cramér's V effect size for the two-sample homogeneity table.
+
+    For a 2-row contingency table ``V = sqrt(chi2 / N)`` with ``N`` the
+    pooled observation count.  V is scale-free in [0, 1]; values below
+    ~0.01 are conventionally negligible even when a huge sample makes
+    the chi-square test formally significant.
+    """
+    statistic, _, dof = chi_square_comparison(a, b)
+    if dof == 0:
+        return 0.0
+    ca, cb = _aligned_counts(a, b)
+    n_obs = float(ca.sum() + cb.sum())
+    return float(np.sqrt(statistic / max(n_obs, 1.0)))
+
+
+@dataclass(frozen=True)
+class HolmResult:
+    """Outcome of a Holm step-down multiple-testing correction.
+
+    Attributes
+    ----------
+    adjusted:
+        Holm-adjusted p-values, in the input order (monotone-enforced,
+        clipped at 1).
+    reject:
+        Per-hypothesis rejection flags at the family-wise ``alpha``.
+    alpha:
+        The family-wise significance level used.
+    """
+
+    adjusted: tuple[float, ...]
+    reject: tuple[bool, ...]
+    alpha: float
+
+    @property
+    def any_rejected(self) -> bool:
+        """Whether any hypothesis in the family was rejected."""
+        return any(self.reject)
+
+
+def holm_correction(
+    p_values: Sequence[float], *, alpha: float = 0.05
+) -> HolmResult:
+    """Holm's step-down correction over a family of p-values.
+
+    Controls the family-wise error rate at ``alpha`` without the
+    independence assumptions of Šidák: sort the p-values, compare the
+    k-th smallest against ``alpha / (m - k)``, and stop at the first
+    acceptance.  Adjusted p-values are ``max-accumulated`` so they are
+    monotone in the raw ordering and directly comparable to ``alpha``.
+
+    Used by the certification runner: the paper's equivalence claim is
+    tested once per table (and per load level inside a table), so a raw
+    1%-significance test repeated 20 times would reject a true claim
+    ~18% of the time; Holm keeps the family-wise rate at ``alpha``.
+    """
+    p = np.asarray(list(p_values), dtype=float)
+    if p.size == 0:
+        return HolmResult(adjusted=(), reject=(), alpha=alpha)
+    if np.any((p < 0) | (p > 1) | ~np.isfinite(p)):
+        raise ValueError("p-values must be finite and in [0, 1]")
+    m = p.size
+    order = np.argsort(p, kind="stable")
+    factors = m - np.arange(m)
+    stepped = np.maximum.accumulate(p[order] * factors)
+    adjusted = np.minimum(stepped, 1.0)
+    reject_sorted = np.zeros(m, dtype=bool)
+    for k in range(m):
+        if p[order][k] <= alpha / (m - k):
+            reject_sorted[k] = True
+        else:
+            break
+    adj = np.empty(m)
+    rej = np.empty(m, dtype=bool)
+    adj[order] = adjusted
+    rej[order] = reject_sorted
+    return HolmResult(
+        adjusted=tuple(float(x) for x in adj),
+        reject=tuple(bool(x) for x in rej),
+        alpha=alpha,
+    )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,197 @@
+"""The ``certification.json`` document: schema, validation, and writing.
+
+A certification document is the machine-readable verdict of one
+:func:`repro.certify.runner.run_certification` run.  Version 1 looks
+like::
+
+    {
+      "schema_version": 1,
+      "paper": "arXiv:1209.5360v4 (Mitzenmacher, SPAA 2014)",
+      "tier": "smoke",
+      "description": "...",
+      "passed": true,
+      "backend": "numpy",
+      "thresholds": {"anchor_z": ..., "alpha": ...,
+                     "queueing_rel_tol": ..., "fluid_rel_tol": ...},
+      "wall_clock_seconds": 12.3,
+      "runs":   [{"table": ..., "variant": ..., "params": {...},
+                  "wall_clock_seconds": ...}, ...],
+      "checks": [{"check_id": ..., "table": ..., "variant": ...,
+                  "kind": "anchor|equivalence|fluid|bootstrap",
+                  "passed": ..., "measured": ..., "expected": ...,
+                  "tolerance": ..., "anchor_id": ..., "p_value": ...,
+                  "p_holm": ..., "effect_size": ..., "detail": ...}, ...],
+      "summary": {"n_checks": ..., "n_failed": ...,
+                  "by_kind": {...}, "tables": [...]}
+    }
+
+:func:`validate_certification` checks a document against this shape
+without any third-party schema library (the CI job and the golden tests
+both call it); :func:`write_certification` validates and serializes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "format_summary",
+    "validate_certification",
+    "write_certification",
+]
+
+#: Version written into (and required of) certification documents.
+SCHEMA_VERSION = 1
+
+_CHECK_KINDS = {"anchor", "equivalence", "fluid", "bootstrap"}
+
+_TOP_LEVEL: dict[str, type | tuple[type, ...]] = {
+    "schema_version": int,
+    "paper": str,
+    "tier": str,
+    "description": str,
+    "passed": bool,
+    "backend": str,
+    "thresholds": dict,
+    "wall_clock_seconds": (int, float),
+    "runs": list,
+    "checks": list,
+    "summary": dict,
+}
+
+_CHECK_REQUIRED: dict[str, type | tuple[type, ...]] = {
+    "check_id": str,
+    "table": str,
+    "variant": str,
+    "kind": str,
+    "passed": bool,
+}
+
+_CHECK_OPTIONAL_NUMERIC = (
+    "measured", "expected", "tolerance", "p_value", "p_holm", "effect_size",
+)
+
+_RUN_REQUIRED: dict[str, type | tuple[type, ...]] = {
+    "table": str,
+    "variant": str,
+    "params": dict,
+    "wall_clock_seconds": (int, float),
+}
+
+_THRESHOLD_KEYS = ("anchor_z", "alpha", "queueing_rel_tol", "fluid_rel_tol")
+
+
+def validate_certification(doc: Any) -> list[str]:
+    """Validate a certification document; return a list of problems.
+
+    An empty list means the document is schema-valid.  Problems are
+    human-readable strings naming the offending path, suitable for a CI
+    failure message.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {type(doc).__name__}"]
+    for key, typ in _TOP_LEVEL.items():
+        if key not in doc:
+            problems.append(f"missing top-level field {key!r}")
+        elif not isinstance(doc[key], typ):
+            problems.append(
+                f"field {key!r} must be {typ}, got {type(doc[key]).__name__}"
+            )
+    if problems:
+        return problems
+    if doc["schema_version"] != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {doc['schema_version']} != {SCHEMA_VERSION}"
+        )
+    for key in _THRESHOLD_KEYS:
+        if key not in doc["thresholds"]:
+            problems.append(f"thresholds missing {key!r}")
+    for i, run in enumerate(doc["runs"]):
+        if not isinstance(run, dict):
+            problems.append(f"runs[{i}] must be an object")
+            continue
+        for key, typ in _RUN_REQUIRED.items():
+            if key not in run or not isinstance(run[key], typ):
+                problems.append(f"runs[{i}].{key} missing or wrong type")
+    n_failed = 0
+    for i, check in enumerate(doc["checks"]):
+        if not isinstance(check, dict):
+            problems.append(f"checks[{i}] must be an object")
+            continue
+        for key, typ in _CHECK_REQUIRED.items():
+            if key not in check or not isinstance(check[key], typ):
+                problems.append(f"checks[{i}].{key} missing or wrong type")
+        if check.get("kind") not in _CHECK_KINDS:
+            problems.append(
+                f"checks[{i}].kind must be one of {sorted(_CHECK_KINDS)}, "
+                f"got {check.get('kind')!r}"
+            )
+        for key in _CHECK_OPTIONAL_NUMERIC:
+            value = check.get(key)
+            if value is not None and not isinstance(value, (int, float)):
+                problems.append(f"checks[{i}].{key} must be numeric or null")
+        if check.get("passed") is False:
+            n_failed += 1
+    if not doc["checks"]:
+        problems.append("checks must be non-empty")
+    summary = doc["summary"]
+    if summary.get("n_checks") != len(doc["checks"]):
+        problems.append("summary.n_checks disagrees with len(checks)")
+    if summary.get("n_failed") != n_failed:
+        problems.append("summary.n_failed disagrees with failing checks")
+    if doc["passed"] is not (n_failed == 0):
+        problems.append("top-level passed disagrees with failing checks")
+    ids = [c.get("check_id") for c in doc["checks"] if isinstance(c, dict)]
+    if len(ids) != len(set(ids)):
+        problems.append("check_id values must be unique")
+    return problems
+
+
+def write_certification(cert: Any, path: str | Path) -> Path:
+    """Validate and write a certification to ``path`` as JSON.
+
+    ``cert`` may be a :class:`~repro.certify.runner.Certification` (its
+    ``to_dict()`` is used) or an already-built document dict.  Raises
+    :class:`ValueError` listing every schema problem rather than writing
+    an invalid artifact.
+    """
+    doc = cert.to_dict() if hasattr(cert, "to_dict") else cert
+    problems = validate_certification(doc)
+    if problems:
+        raise ValueError(
+            "refusing to write invalid certification:\n  "
+            + "\n  ".join(problems)
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def format_summary(doc: Any) -> str:
+    """Human-readable one-screen summary of a certification document."""
+    doc = doc.to_dict() if hasattr(doc, "to_dict") else doc
+    lines = [
+        f"certification: tier={doc['tier']} backend={doc['backend']} "
+        f"{'PASSED' if doc['passed'] else 'FAILED'} "
+        f"({doc['wall_clock_seconds']:.1f}s)",
+        f"  paper: {doc['paper']}",
+    ]
+    by_kind = doc["summary"].get("by_kind", {})
+    for kind in sorted(by_kind):
+        slot = by_kind[kind]
+        lines.append(
+            f"  {kind:12s} {slot['total'] - slot['failed']:3d}/{slot['total']:<3d} passed"
+        )
+    for check in doc["checks"]:
+        if not check["passed"]:
+            lines.append(
+                f"  FAIL {check['check_id']}: measured={check['measured']} "
+                f"expected={check['expected']} tol={check['tolerance']} "
+                f"{check['detail']}"
+            )
+    return "\n".join(lines)

@@ -3,6 +3,10 @@
 Commands
 --------
 - ``table1`` … ``table8`` — regenerate one paper table and print it;
+- ``certify`` — run a certification tier (``--tier smoke|standard|full``)
+  against the paper-anchor registry and write ``certification.json``;
+  ``--check-drift`` instead verifies EXPERIMENTS.md's paper columns
+  against the registry without running anything;
 - ``compare`` — run both schemes on a custom geometry and print the
   statistical indistinguishability report;
 - ``fluid`` — print fluid-limit tail fractions for a given d and T;
@@ -168,6 +172,42 @@ def build_parser() -> argparse.ArgumentParser:
     peeling.add_argument("--trials", type=int, default=8)
     peeling.add_argument("--seed", type=int, default=1)
 
+    certify = sub.add_parser(
+        "certify",
+        help="statistical certification against the paper-anchor registry",
+    )
+    certify.add_argument(
+        "--tier", choices=["smoke", "standard", "full"], default="smoke",
+        help="budget/threshold tier (see docs/certification.md)",
+    )
+    certify.add_argument(
+        "--out", default="certification.json", metavar="PATH.json",
+        help="where to write the machine-readable verdict",
+    )
+    certify.add_argument(
+        "--backend", choices=["numpy", "numba"], default=None,
+        help="kernel backend override for every run",
+    )
+    certify.add_argument("--workers", type=int, default=None)
+    certify.add_argument(
+        "--progress", action="store_true",
+        help="print per-chunk completions to stderr",
+    )
+    certify.add_argument(
+        "--check-drift", action="store_true",
+        help="only verify EXPERIMENTS.md paper columns against the "
+             "registry (fast, no experiments)",
+    )
+    certify.add_argument(
+        "--experiments-md", default="EXPERIMENTS.md", dest="experiments_md",
+        metavar="PATH.md", help="document for --check-drift / --emit-experiments-md",
+    )
+    certify.add_argument(
+        "--emit-experiments-md", action="store_true", dest="emit_experiments_md",
+        help="regenerate the EXPERIMENTS.md document (runs experiments, "
+             "a few minutes)",
+    )
+
     sub.add_parser("list", help="list available commands")
     sub.add_parser(
         "validate",
@@ -256,13 +296,51 @@ def _run_peeling(args) -> int:
     return 0
 
 
+def _run_certify(args) -> int:
+    from repro.certify import (
+        check_experiments_md_drift,
+        render_experiments_md,
+        run_certification,
+    )
+    from repro.certify.verdict import format_summary, write_certification
+
+    if args.check_drift:
+        problems = check_experiments_md_drift(args.experiments_md)
+        for problem in problems:
+            print(f"[drift] {problem}", file=sys.stderr)
+        print(
+            f"{args.experiments_md}: "
+            + ("in sync with the anchor registry" if not problems
+               else f"{len(problems)} paper-column mismatches")
+        )
+        return 1 if problems else 0
+    if args.emit_experiments_md:
+        progress = _print_progress if args.progress else None
+        text = render_experiments_md(progress=progress)
+        with open(args.experiments_md, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.experiments_md}")
+        return 0
+    progress = _print_progress if args.progress else None
+    cert = run_certification(
+        args.tier, backend=args.backend, workers=args.workers,
+        progress=progress,
+    )
+    write_certification(cert, args.out)
+    print(format_summary(cert))
+    print(f"wrote {args.out}")
+    return 0 if cert.passed else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         print("commands: " + " ".join(sorted(_TABLE_COMMANDS) +
-                                      ["compare", "fluid", "list",
+                                      ["certify", "compare", "fluid", "list",
                                        "peeling", "validate", "zoo"]))
         return 0
+    if args.command == "certify":
+        return _run_certify(args)
     if args.command == "zoo":
         return _run_zoo(args)
     if args.command == "peeling":

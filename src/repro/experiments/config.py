@@ -9,7 +9,10 @@ Two things live here:
   programmatic defaults and the CLI subcommand defaults derive from, so
   the two paths cannot drift.
 - ``PAPER_VALUES`` — every published number this reproduction targets,
-  keyed by table, attached to outputs for side-by-side reporting.
+  keyed by table, attached to outputs for side-by-side reporting.  Since
+  the certification subsystem landed this is a *view* of the
+  paper-anchor registry (:mod:`repro.certify.anchors`), which owns the
+  one and only transcription of the paper's tables.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from repro.certify.anchors import paper_values as _paper_values
 from repro.errors import ConfigurationError
 from repro.kernels import DEFAULT_BLOCK, KNOWN_BACKENDS
 from repro.parallel.engine import EngineConfig
@@ -190,87 +194,8 @@ class ExperimentScale:
     workers: int = 1
 
 
-# Published numbers, transcribed from the paper (arXiv:1209.5360v4).
-PAPER_VALUES: dict[str, dict] = {
-    # Table 1: fraction of bins with each load, n = 2^14 balls and bins.
-    "table1": {
-        (3, "random"): {0: 0.17693, 1: 0.64664, 2: 0.17592, 3: 0.00051},
-        (3, "double"): {0: 0.17691, 1: 0.64670, 2: 0.17589, 3: 0.00051},
-        (4, "random"): {0: 0.14081, 1: 0.71840, 2: 0.14077, 3: 2.25e-5},
-        (4, "double"): {0: 0.14081, 1: 0.71841, 2: 0.14076, 3: 2.29e-5},
-    },
-    # Table 2: tail fractions, 3 choices, fluid limit vs n = 2^14.
-    "table2": {
-        "fluid": {1: 0.8231, 2: 0.1765, 3: 0.00051},
-        "random": {1: 0.8231, 2: 0.1764, 3: 0.00051},
-        "double": {1: 0.8231, 2: 0.1764, 3: 0.00051},
-    },
-    # Table 3: load fractions at n = 2^16 and 2^18.
-    "table3": {
-        (16, 3, "random"): {0: 0.17695, 1: 0.64661, 2: 0.17593, 3: 0.00051},
-        (16, 3, "double"): {0: 0.17693, 1: 0.64664, 2: 0.17592, 3: 0.00051},
-        (16, 4, "random"): {0: 0.14081, 1: 0.71841, 2: 0.14076, 3: 2.32e-5},
-        (16, 4, "double"): {0: 0.14083, 1: 0.71835, 2: 0.14079, 3: 2.30e-5},
-        (18, 3, "random"): {0: 0.17696, 1: 0.64658, 2: 0.17595, 3: 0.00051},
-        (18, 3, "double"): {0: 0.17696, 1: 0.64648, 2: 0.17595, 3: 0.00051},
-        (18, 4, "random"): {0: 0.14083, 1: 0.71837, 2: 0.14078, 3: 2.31e-5},
-        (18, 4, "double"): {0: 0.14082, 1: 0.71838, 2: 0.14078, 3: 2.32e-5},
-    },
-    # Table 4: percentage of trials with maximum load 3.
-    "table4": {
-        (3, "random"): {10: 39.78, 11: 64.71, 12: 86.90, 13: 98.37, 14: 100.0, 15: 100.0},
-        (3, "double"): {10: 39.40, 11: 65.15, 12: 87.05, 13: 98.63, 14: 99.99, 15: 100.0},
-        (4, "random"): {10: 2.24, 12: 8.91, 14: 30.75, 16: 78.23, 18: 99.77, 20: 100.0},
-        (4, "double"): {10: 2.23, 12: 8.52, 14: 31.42, 16: 77.72, 18: 99.79, 20: 100.0},
-    },
-    # Table 5: per-load count statistics, 4 choices, 2^18 balls and bins.
-    "table5": {
-        "random": {
-            0: {"min": 36522, "avg": 36913.75, "max": 37308, "std": 111.06},
-            1: {"min": 187533, "avg": 188322.55, "max": 189103, "std": 222.02},
-            2: {"min": 36516, "avg": 36901.67, "max": 37298, "std": 110.96},
-            3: {"min": 1, "avg": 6.04, "max": 17, "std": 2.42},
-        },
-        "double": {
-            0: {"min": 36535, "avg": 36916.57, "max": 37301, "std": 109.89},
-            1: {"min": 187544, "avg": 188316.93, "max": 189078, "std": 219.71},
-            2: {"min": 36524, "avg": 36904.45, "max": 37297, "std": 109.85},
-            3: {"min": 1, "avg": 6.06, "max": 18, "std": 2.44},
-        },
-    },
-    # Table 6: 2^18 balls into 2^14 bins (average load 16).
-    "table6": {
-        (3, "random"): {
-            13: 0.00076, 14: 0.01254, 15: 0.16885, 16: 0.62220,
-            17: 0.19482, 18: 0.00079,
-        },
-        (3, "double"): {
-            13: 0.00076, 14: 0.01254, 15: 0.16877, 16: 0.62234,
-            17: 0.19475, 18: 0.00079,
-        },
-        (4, "random"): {
-            14: 0.00349, 15: 0.13908, 16: 0.71110, 17: 0.14622, 18: 2.86e-5,
-        },
-        (4, "double"): {
-            14: 0.00349, 15: 0.13906, 16: 0.71114, 17: 0.14620, 18: 2.85e-5,
-        },
-    },
-    # Table 7: Vöcking's d-left scheme, 4 choices.
-    "table7": {
-        (14, "random"): {0: 0.12420, 1: 0.75160, 2: 0.12420},
-        (14, "double"): {0: 0.12421, 1: 0.75158, 2: 0.12421},
-        (18, "random"): {0: 0.12421, 1: 0.75159, 2: 0.12421},
-        (18, "double"): {0: 0.12421, 1: 0.75158, 2: 0.12421},
-    },
-    # Table 8: queueing, n = 2^14 queues, average time in system.
-    "table8": {
-        (0.9, 3, "random"): 2.02805,
-        (0.9, 3, "double"): 2.02813,
-        (0.9, 4, "random"): 1.77788,
-        (0.9, 4, "double"): 1.77792,
-        (0.99, 3, "random"): 3.85967,
-        (0.99, 3, "double"): 3.86073,
-        (0.99, 4, "random"): 3.24347,
-        (0.99, 4, "double"): 3.24410,
-    },
-}
+# Published numbers, in the historical nested-dict shape.  The actual
+# transcription lives in the paper-anchor registry
+# (repro.certify.anchors) — the single place paper values are typed in;
+# this view is rebuilt from it so existing consumers keep working.
+PAPER_VALUES: dict[str, dict] = _paper_values()

@@ -6,7 +6,8 @@ key occupies ``d`` cells; each cell keeps (count, keySum, valueSum);
 listing repeatedly finds a count-1 cell (a "pure" cell), reads its
 key/value, and deletes it — i.e. peels a hyperedge.  Complete listing
 succeeds exactly when the key-cell hypergraph's 2-core is empty, so the
-density-evolution thresholds apply (c₃ = 0.81847 keys per cell, …).
+density-evolution thresholds apply (c₃ ≈ 0.818 keys per cell, …; the
+precise constants live in :mod:`repro.certify.anchors`).
 
 Cell selection supports both modes of this repository's central question:
 ``d`` independent hashes or two hashes combined double-hashing style.  The

@@ -91,6 +91,7 @@ class KernelLayout:
 
     @property
     def cidx_mask(self) -> np.int64:
+        """Mask extracting the flat candidate index from a packed value."""
         return np.int64((1 << self.cidx_bits) - 1)
 
 

@@ -63,7 +63,8 @@ class NumbaBackend:
     def make_workspace(
         self, *, d: int, trials: int, window: int, bins_p: int
     ) -> None:
-        return None  # the sequential loop carries no scratch state
+        """Return ``None``: the sequential loop carries no scratch state."""
+        return None
 
     def place(
         self,
@@ -73,6 +74,7 @@ class NumbaBackend:
         layout: KernelLayout,
         workspace: None = None,
     ) -> int:
+        """Place every ball of ``pc`` into ``loads``; returns 1 (one pass)."""
         if not NUMBA_AVAILABLE:  # pragma: no cover - registry prevents this
             raise RuntimeError("numba backend selected but numba is not importable")
         _place_sequential(loads, pc, layout.cidx_mask)

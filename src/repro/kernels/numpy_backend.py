@@ -103,6 +103,7 @@ class NumpyBackend:
     def make_workspace(
         self, *, d: int, trials: int, window: int, bins_p: int
     ) -> NumpyWorkspace:
+        """Allocate the scratch buffers for this geometry (reused per chunk)."""
         return NumpyWorkspace(d, trials, window, bins_p)
 
     def place(

@@ -18,8 +18,9 @@ This subpackage provides:
   returning the 2-core and the peeling order;
 - :mod:`repro.peeling.density_evolution` — the fluid limit of peeling:
   the survival recursion ``β ← (1 − e^{−c·d·β})^{d−1}``, numeric threshold
-  solver (reproducing the known thresholds c₃ = 0.81847, c₄ = 0.77228,
-  c₅ = 0.70178), and asymptotic core sizes;
+  solver (reproducing the known literature thresholds — the
+  ``derived/peeling-threshold/d*`` anchors of :mod:`repro.certify.anchors`),
+  and asymptotic core sizes;
 - :mod:`repro.peeling.experiment` — the threshold-comparison experiment of
   [30]: success probability vs edge density for fully random vs
   double-hashed edges.

@@ -13,8 +13,9 @@ at a Poisson(cd) vertex" has probability ``1 − e^{−c·d·β}``.)
 Peeling succeeds asymptotically iff the recursion converges to 0; the
 threshold ``c*_d`` is the largest density for which it does.  This module
 computes the fixed point, the threshold (bisection — validated against the
-known values 0.81847 / 0.77228 / 0.70178 for d = 3/4/5), and the
-asymptotic 2-core size.
+known literature values, transcribed once as the
+``derived/peeling-threshold/d*`` anchors in :mod:`repro.certify.anchors`),
+and the asymptotic 2-core size.
 
 The same equations govern double-hashed hypergraphs — that is the follow-up
 paper's analogue of this paper's Theorem 8 — which the experiment module
@@ -62,8 +63,8 @@ def survival_fixed_point(c: float, d: int, *, max_iters: int = 20000) -> float:
 def peeling_threshold(d: int, *, precision: float = 1e-9) -> float:
     """Largest density ``c`` at which peeling succeeds w.h.p.
 
-    >>> round(peeling_threshold(3), 5)
-    0.81847
+    >>> round(peeling_threshold(3), 3)
+    0.818
     """
     if d < 2:
         raise ConfigurationError(f"d must be at least 2, got {d}")

@@ -95,3 +95,68 @@ class TestCompareMaxLoads:
         a = simulate_one_choice(n, n, 80, seed=3).distribution()
         b = simulate_batch(FullyRandomChoices(n, 2), n, 80, seed=4).distribution()
         assert not compare_max_loads(a, b).indistinguishable
+
+
+class TestBootstrapCI:
+    def test_brackets_the_mean(self):
+        from repro.analysis.max_load_stats import bootstrap_mean_ci
+
+        values = np.array([2] * 30 + [3] * 70)
+        mean, low, high = bootstrap_mean_ci(values, seed=1)
+        assert mean == pytest.approx(2.7)
+        assert low < 2.7 < high
+
+    def test_deterministic_for_seed(self):
+        from repro.analysis.max_load_stats import bootstrap_mean_ci
+
+        values = np.array([2, 3, 3, 4, 2, 3])
+        assert bootstrap_mean_ci(values, seed=7) == bootstrap_mean_ci(values, seed=7)
+        # On a continuous sample different seeds give different resamples
+        # (integer samples can quantize both intervals onto the same grid).
+        smooth = np.array([2.1, 3.7, 3.2, 4.4, 2.9, 3.3, 2.2, 4.0])
+        _, lo_a, hi_a = bootstrap_mean_ci(smooth, seed=7)
+        _, lo_b, hi_b = bootstrap_mean_ci(smooth, seed=8)
+        assert (lo_a, hi_a) != (lo_b, hi_b)
+
+    def test_degenerate_sample_zero_width(self):
+        from repro.analysis.max_load_stats import bootstrap_mean_ci
+
+        mean, low, high = bootstrap_mean_ci(np.array([3, 3, 3, 3]))
+        assert mean == low == high == 3.0
+
+    def test_empty_sample_is_nan(self):
+        from repro.analysis.max_load_stats import bootstrap_mean_ci
+
+        mean, low, high = bootstrap_mean_ci(np.array([]))
+        assert np.isnan(mean) and np.isnan(low) and np.isnan(high)
+
+    def test_narrows_with_sample_size(self):
+        from repro.analysis.max_load_stats import bootstrap_mean_ci
+
+        small = np.tile([2, 3], 10)
+        large = np.tile([2, 3], 1000)
+        _, lo_s, hi_s = bootstrap_mean_ci(small, seed=2)
+        _, lo_l, hi_l = bootstrap_mean_ci(large, seed=2)
+        assert (hi_s - lo_s) > (hi_l - lo_l)
+
+    def test_fraction_ci_matches_manual_hits(self):
+        from repro.analysis.max_load_stats import (
+            bootstrap_fraction_ci,
+            bootstrap_mean_ci,
+        )
+
+        values = np.array([2] * 40 + [3] * 60)
+        frac = bootstrap_fraction_ci(values, 3, seed=5)
+        hits = (values == 3).astype(float)
+        assert frac == bootstrap_mean_ci(hits, seed=5)
+        assert frac[0] == pytest.approx(0.6)
+
+    def test_fraction_ci_cross_checks_wilson(self):
+        """Bootstrap and Wilson intervals for the same fraction overlap."""
+        from repro.analysis.max_load_stats import bootstrap_fraction_ci
+
+        d = _dist_with_max_loads([2] * 30 + [3] * 70)
+        p_w, lo_w, hi_w = max_load_fraction_ci(d, 3)
+        p_b, lo_b, hi_b = bootstrap_fraction_ci(d.max_load_per_trial, 3, seed=3)
+        assert p_b == pytest.approx(p_w)
+        assert max(lo_w, lo_b) < min(hi_w, hi_b)

@@ -1,0 +1,29 @@
+"""Shared fixtures: one tiny certification run reused across test files."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.certify.runner import Certification, run_certification
+from repro.certify.tiers import CertificationTier, TableRun
+from repro.experiments.config import ExperimentSpec
+
+#: A deliberately tiny tier: Tables 1 and 2 at toy scale, seconds to run,
+#: exercising all four check kinds (anchor, equivalence, bootstrap, fluid).
+MICRO_TIER = CertificationTier(
+    name="micro",
+    description="test-only tier: tables 1-2 at toy scale",
+    runs=(
+        TableRun("table1", "d3", ExperimentSpec(n=1024, d=3, trials=10, seed=101)),
+        TableRun("table2", "d3", ExperimentSpec(n=1024, d=3, trials=10, seed=102)),
+    ),
+    anchor_z=8.0,
+    alpha=1e-3,
+    queueing_rel_tol=0.12,
+)
+
+
+@pytest.fixture(scope="session")
+def micro_cert() -> Certification:
+    """Run the micro tier once per session on the always-available backend."""
+    return run_certification(MICRO_TIER, backend="numpy", workers=1)

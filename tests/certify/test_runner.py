@@ -1,0 +1,92 @@
+"""Tests for the certification runner on a tiny custom tier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.certify.verdict import validate_certification
+
+from .conftest import MICRO_TIER
+
+
+class TestMicroCertification:
+    def test_passes_at_toy_scale(self, micro_cert):
+        failed = [c.check_id for c in micro_cert.checks if not c.passed]
+        assert micro_cert.passed, f"failing checks: {failed}"
+
+    def test_document_is_schema_valid(self, micro_cert):
+        assert validate_certification(micro_cert.to_dict()) == []
+
+    def test_all_four_check_kinds_present(self, micro_cert):
+        kinds = {c.kind for c in micro_cert.checks}
+        assert kinds == {"anchor", "equivalence", "fluid", "bootstrap"}
+
+    def test_check_ids_unique(self, micro_cert):
+        ids = [c.check_id for c in micro_cert.checks]
+        assert len(ids) == len(set(ids))
+
+    def test_backend_and_tier_recorded(self, micro_cert):
+        doc = micro_cert.to_dict()
+        assert doc["tier"] == "micro"
+        assert doc["backend"] == "numpy"
+        assert doc["thresholds"]["anchor_z"] == MICRO_TIER.anchor_z
+        assert doc["thresholds"]["alpha"] == MICRO_TIER.alpha
+
+    def test_runs_record_parameters(self, micro_cert):
+        doc = micro_cert.to_dict()
+        assert [r["table"] for r in doc["runs"]] == ["table1", "table2"]
+        for run in doc["runs"]:
+            assert run["params"]["backend"] == "numpy"
+            assert run["params"]["workers"] == 1
+            assert run["params"]["trials"] == 10
+            assert run["wall_clock_seconds"] >= 0.0
+
+    def test_holm_correction_wired(self, micro_cert):
+        """Every equivalence check with a raw p-value carries a Holm-adjusted
+        one that is no smaller, and the family decision used it."""
+        equiv = [
+            c for c in micro_cert.checks
+            if c.kind == "equivalence" and c.p_value is not None
+        ]
+        assert equiv
+        for check in equiv:
+            assert check.p_holm is not None
+            assert check.p_holm >= check.p_value - 1e-15
+            assert check.passed == (check.p_holm > MICRO_TIER.alpha)
+
+    def test_anchor_checks_reference_registry_ids(self, micro_cert):
+        from repro.certify.anchors import anchor
+
+        anchored = [c for c in micro_cert.checks if c.anchor_id]
+        assert anchored
+        for check in anchored:
+            a = anchor(check.anchor_id)  # resolves, i.e. no invented ids
+            if check.kind == "anchor":
+                assert check.expected == pytest.approx(a.value, rel=1e-9)
+
+    def test_deterministic_rerun(self, micro_cert):
+        """Same tier, same backend: identical verdict apart from timing."""
+        from repro.certify.runner import run_certification
+
+        again = run_certification(MICRO_TIER, backend="numpy", workers=1)
+        a, b = micro_cert.to_dict(), again.to_dict()
+        for doc in (a, b):
+            doc["wall_clock_seconds"] = 0.0
+            for run in doc["runs"]:
+                run["wall_clock_seconds"] = 0.0
+        assert a == b
+
+
+class TestRunnerErrors:
+    def test_unknown_tier_name(self):
+        from repro.certify.runner import run_certification
+
+        with pytest.raises(KeyError, match="unknown certification tier"):
+            run_certification("ludicrous")
+
+    def test_unknown_backend(self):
+        from repro.certify.runner import run_certification
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            run_certification(MICRO_TIER, backend="fortran")

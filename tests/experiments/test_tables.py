@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.certify.anchors import anchor_value
 from repro.experiments import (
     PAPER_VALUES,
     ExperimentSpec,
@@ -51,7 +52,7 @@ class TestTable1(object):
             assert random_frac == pytest.approx(double_frac, abs=0.005)
 
     def test_paper_reference_attached(self, t1):
-        assert t1.paper["random"][0] == 0.17693
+        assert t1.paper["random"][0] == anchor_value("table1/d3/random/load0")
 
 
 class TestTable2(object):
@@ -137,12 +138,14 @@ class TestTable7:
     def test_dleft_small_scale(self):
         t = table7_dleft(ExperimentSpec(n=2**12, d=4, trials=40, seed=11))
         by_load = {r[0]: r for r in t.rows}
+        load0 = anchor_value("table7/n18/random/load0")
+        load1 = anchor_value("table7/n18/random/load1")
         # Fluid column matches the paper's published fractions.
-        assert by_load[0][3] == pytest.approx(0.12421, abs=1e-4)
-        assert by_load[1][3] == pytest.approx(0.75159, abs=1e-4)
+        assert by_load[0][3] == pytest.approx(load0, abs=1e-4)
+        assert by_load[1][3] == pytest.approx(load1, abs=1e-4)
         # Simulated columns near fluid.
-        assert by_load[0][1] == pytest.approx(0.12421, abs=0.01)
-        assert by_load[0][2] == pytest.approx(0.12421, abs=0.01)
+        assert by_load[0][1] == pytest.approx(load0, abs=0.01)
+        assert by_load[0][2] == pytest.approx(load0, abs=0.01)
 
 
 class TestTable8:
@@ -169,7 +172,7 @@ class TestFormatting:
         from repro.experiments.report import format_number
 
         assert "e" in format_number(2.3e-5)
-        assert format_number(0.17693) == "0.17693"
+        assert format_number(0.12345) == "0.12345"
         assert format_number(7) == "7"
         assert format_number(0.0) == "0"
         assert format_number("x") == "x"

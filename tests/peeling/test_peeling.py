@@ -10,6 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.certify.anchors import anchor_value
 from repro.errors import ConfigurationError
 from repro.hashing import DoubleHashingChoices, FullyRandomChoices
 from repro.peeling import (
@@ -147,10 +148,9 @@ class TestDecoder:
 
 
 class TestDensityEvolution:
-    @pytest.mark.parametrize(
-        "d,expected", [(3, 0.81847), (4, 0.77228), (5, 0.70178)]
-    )
-    def test_known_thresholds(self, d, expected):
+    @pytest.mark.parametrize("d", [3, 4, 5])
+    def test_known_thresholds(self, d):
+        expected = anchor_value(f"derived/peeling-threshold/d{d}")
         assert peeling_threshold(d) == pytest.approx(expected, abs=1e-5)
 
     def test_fixed_point_zero_below_threshold(self):
@@ -245,7 +245,9 @@ class TestThresholdExperiment:
         assert exp.success_random[0] == 1.0
         assert exp.success_random[1] == 0.0
         assert exp.core_fraction_double[1] > 0.3
-        assert exp.asymptotic_threshold == pytest.approx(0.81847, abs=1e-4)
+        assert exp.asymptotic_threshold == pytest.approx(
+            anchor_value("derived/peeling-threshold/d3"), abs=1e-4
+        )
 
     def test_core_fractions_agree_between_schemes(self):
         """Above threshold both schemes leave the same (macroscopic) core."""

@@ -1,0 +1,135 @@
+"""Check relative markdown links in the repository's documentation.
+
+Scans README.md, DESIGN.md, EXPERIMENTS.md and docs/*.md for inline
+markdown links (``[text](target)``) and verifies that every *relative*
+target resolves to an existing file, directory, or — for ``#fragment``
+links — a heading in the target document.  External links (http/https/
+mailto) are not fetched: CI must not depend on the network.
+
+Usage::
+
+    python tools/check_markdown_links.py          # exit 1 on broken links
+    python tools/check_markdown_links.py -v       # also list checked files
+
+No third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DEFAULT_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
+DEFAULT_GLOBS = ("docs/*.md",)
+
+# Inline links only; reference-style links are not used in this repo.
+# Skips images' leading "!", tolerates titles: [t](path "title").
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+_CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = re.sub(r"[`*_]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    """All heading anchors of a markdown file (code fences excluded)."""
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if m:
+            anchors.add(_slugify(m.group(1)))
+    return anchors
+
+
+def _iter_links(path: Path):
+    """Yield ``(lineno, target)`` for every inline link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in _LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(path: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
+    """Problems found in one markdown file (empty when clean)."""
+    problems: list[str] = []
+    for lineno, target in _iter_links(path):
+        if target.startswith(_EXTERNAL):
+            continue
+        target, _, fragment = target.partition("#")
+        if not target:  # pure in-page fragment
+            dest = path
+        else:
+            dest = (path.parent / target).resolve()
+            if not dest.exists():
+                problems.append(
+                    f"{path.relative_to(REPO)}:{lineno}: broken link -> {target}"
+                )
+                continue
+        if fragment and dest.suffix == ".md" and dest.is_file():
+            if dest not in anchor_cache:
+                anchor_cache[dest] = _anchors(dest)
+            if fragment.lower() not in anchor_cache[dest]:
+                problems.append(
+                    f"{path.relative_to(REPO)}:{lineno}: "
+                    f"missing anchor -> {target}#{fragment}"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: check the default documentation set."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-v", "--verbose", action="store_true")
+    parser.add_argument(
+        "files", nargs="*", help="markdown files to check (default: docs set)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.files:
+        files = [Path(f).resolve() for f in args.files]
+    else:
+        files = [REPO / f for f in DEFAULT_FILES if (REPO / f).is_file()]
+        for pattern in DEFAULT_GLOBS:
+            files.extend(sorted(REPO.glob(pattern)))
+
+    anchor_cache: dict[Path, set[str]] = {}
+    problems: list[str] = []
+    for path in files:
+        if args.verbose:
+            print(f"checking {path.relative_to(REPO)}")
+        problems.extend(check_file(path, anchor_cache))
+
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"{len(files)} files checked, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
