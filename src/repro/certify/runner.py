@@ -524,10 +524,12 @@ def _certify_table8(run, tier, metrics, progress):
             res_r = simulate_supermarket(
                 FullyRandomChoices(spec.n, d), lam, spec.sim_time,
                 burn_in=spec.effective_burn_in, seed=seed_r,
+                backend=spec.backend,
             )
             res_d = simulate_supermarket(
                 DoubleHashingChoices(spec.n, d), lam, spec.sim_time,
                 burn_in=spec.effective_burn_in, seed=seed_d,
+                backend=spec.backend,
             )
             for role, res in (("random", res_r), ("double", res_d)):
                 a = anchor(f"table8/lam{lam}/d{d}/{role}")

@@ -490,11 +490,13 @@ def table8_queueing(
                 FullyRandomChoices(spec.n, d_now), lam, spec.sim_time,
                 burn_in=spec.effective_burn_in,
                 seed=None if spec.seed is None else spec.seed + 2 * k,
+                backend=spec.backend,
             )
             res_d = simulate_supermarket(
                 DoubleHashingChoices(spec.n, d_now), lam, spec.sim_time,
                 burn_in=spec.effective_burn_in,
                 seed=None if spec.seed is None else spec.seed + 2 * k + 1,
+                backend=spec.backend,
             )
             rows.append(
                 (

@@ -82,6 +82,9 @@ def queueing_result_to_dict(result: QueueingResult) -> dict:
             if result.tail_fractions is None
             else result.tail_fractions.tolist()
         ),
+        "n_arrivals": result.n_arrivals,
+        "n_departures": result.n_departures,
+        "busy_fraction": result.busy_fraction,
     }
 
 
@@ -90,12 +93,18 @@ def queueing_result_from_dict(data: dict) -> QueueingResult:
     if data.get("kind") != "QueueingResult":
         raise ValueError(f"not a QueueingResult payload: {data.get('kind')!r}")
     tails = data.get("tail_fractions")
+    arrivals = data.get("n_arrivals")
+    departures = data.get("n_departures")
+    busy = data.get("busy_fraction")
     return QueueingResult(
         mean_sojourn_time=float(data["mean_sojourn_time"]),
         completed_jobs=int(data["completed_jobs"]),
         mean_queue_length=float(data["mean_queue_length"]),
         sim_time=float(data["sim_time"]),
         tail_fractions=None if tails is None else np.asarray(tails),
+        n_arrivals=None if arrivals is None else int(arrivals),
+        n_departures=None if departures is None else int(departures),
+        busy_fraction=None if busy is None else float(busy),
     )
 
 

@@ -24,6 +24,13 @@ The shared data contract (packed candidates, tie keys, dummy padding) is
 documented in :mod:`repro.kernels.generate`; :func:`run_placement_kernel`
 is the single public entry point over raw choice/tie arrays, and
 ``simulate_batch`` drives the same machinery with fused generation.
+
+The same registry also serves the queueing path: the supermarket-model
+CTMC of Tables 7–8 runs through :func:`run_supermarket_kernel`, whose
+backends (blocked numpy loop in :mod:`repro.kernels.supermarket`, JIT in
+:mod:`repro.kernels.numba_supermarket`) are bit-identical to the oracle
+:func:`repro.kernels.reference.simulate_supermarket_reference` under the
+draw-stream contract documented in :mod:`repro.kernels.supermarket`.
 """
 
 from __future__ import annotations
@@ -33,7 +40,9 @@ import os
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.hashing.base import ChoiceScheme
 from repro.kernels import numba_backend as _numba_mod
+from repro.kernels import numba_supermarket as _numba_sm
 from repro.kernels.generate import (
     KEY_SHIFT,
     KernelLayout,
@@ -45,8 +54,16 @@ from repro.kernels.reference import (
     place_ball,
     sequential_packed_reference,
     simulate_single_trial,
+    simulate_supermarket_reference,
+)
+from repro.kernels.supermarket import (
+    finalize_stats,
+    simulate_supermarket_numpy,
+    validate_supermarket_args,
 )
 from repro.metrics import MetricsRegistry, global_registry
+from repro.rng import default_generator
+from repro.types import QueueingResult
 
 __all__ = [
     "DEFAULT_BLOCK",
@@ -60,8 +77,10 @@ __all__ = [
     "plan_layout",
     "resolve_backend",
     "run_placement_kernel",
+    "run_supermarket_kernel",
     "sequential_packed_reference",
     "simulate_single_trial",
+    "simulate_supermarket_reference",
 ]
 
 #: Ball-steps generated (and fed to the kernel) per superblock.  Sweep at
@@ -237,3 +256,93 @@ def run_placement_kernel(
     registry.increment("kernel.balls_placed", trials * steps)
     registry.increment(f"kernel.calls.{impl.name}", 1)
     return loads
+
+
+def run_supermarket_kernel(
+    scheme: ChoiceScheme,
+    lam: float,
+    sim_time: float,
+    *,
+    burn_in: float = 0.0,
+    seed: int | np.random.Generator | None = None,
+    max_total_jobs: int | None = None,
+    track_tails: bool = False,
+    tie_break: str = "random",
+    backend: str | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> QueueingResult:
+    """Run one supermarket-model CTMC simulation through a kernel backend.
+
+    The queueing face of the kernel subsystem (Tables 7-8):
+    :func:`repro.queueing.simulate_supermarket` is a thin wrapper over this
+    function.  Backend selection follows the standard order (explicit
+    ``backend`` > ``REPRO_BACKEND`` env > auto), and every backend is
+    bit-identical to
+    :func:`repro.kernels.reference.simulate_supermarket_reference` for the
+    same seed under the draw-stream contract documented in
+    :mod:`repro.kernels.supermarket`.
+
+    Parameters
+    ----------
+    scheme:
+        Choice generator; ``scheme.n_bins`` queues, ``scheme.d`` choices
+        per arrival.
+    lam:
+        Arrival rate per queue, in (0, 1) for stability.
+    sim_time:
+        Total simulated time (the paper ran 10000 time units).
+    burn_in:
+        Jobs arriving before this time are excluded from the sojourn mean
+        and all time averages (the paper used 1000).
+    seed:
+        Seed or generator.  A passed-in generator is left in the same
+        state regardless of backend.
+    max_total_jobs:
+        Safety valve: abort with :class:`~repro.errors.StabilityError`
+        when the population exceeds this (defaults to ``50 * n``).
+    track_tails:
+        When True, also accumulate the time-averaged fraction of queues
+        with at least ``i`` jobs (``result.tail_fractions``).
+    tie_break:
+        ``"random"`` (the standard model) or ``"left"`` (join the first
+        shortest candidate in choice order).
+    backend:
+        Kernel-backend name (``"numpy"`` / ``"numba"``), or None for
+        env/auto resolution.
+    metrics:
+        Registry receiving the kernel timer/counters (global by default).
+
+    Returns
+    -------
+    QueueingResult
+        Sojourn mean, event counts, busy fraction, and optional tails.
+    """
+    validate_supermarket_args(lam, sim_time, burn_in, tie_break)
+    impl = resolve_backend(backend, metrics=metrics)
+    registry = metrics if metrics is not None else kernel_metrics()
+    rng = default_generator(seed)
+    n = scheme.n_bins
+    if max_total_jobs is None:
+        max_total_jobs = 50 * n
+    left_ties = tie_break == "left"
+    if impl.name == "numba":
+        simulate = _numba_sm.simulate_supermarket_numba
+    else:
+        simulate = simulate_supermarket_numpy
+    with registry.timer("kernel.supermarket_seconds"):
+        stats = simulate(
+            scheme,
+            lam,
+            sim_time,
+            burn_in,
+            rng,
+            max_total_jobs,
+            track_tails,
+            left_ties,
+        )
+    registry.increment(
+        "kernel.supermarket_events", stats.n_arrivals + stats.n_departures
+    )
+    registry.increment("kernel.supermarket_completions", stats.s_count)
+    registry.increment(f"kernel.calls.{impl.name}", 1)
+    return finalize_stats(stats, n=n, sim_time=sim_time, burn_in=burn_in)

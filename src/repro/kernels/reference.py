@@ -13,6 +13,11 @@ Two layers live here:
   candidate arrays of :mod:`repro.kernels.generate`, used by the kernel
   test suite to assert that the fused numpy backend (and numba, when
   present) is bit-identical to sequential placement on the same draws.
+- :func:`simulate_supermarket_reference` — the supermarket CTMC written
+  as the plainest possible event loop over the draw-stream contract of
+  :mod:`repro.kernels.supermarket`.  ``tests/data/golden_supermarket.json``
+  pins its outputs, and every supermarket backend is asserted bit-identical
+  to it for the same seed.
 """
 
 from __future__ import annotations
@@ -21,17 +26,27 @@ from typing import Literal
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StabilityError
 from repro.hashing.base import ChoiceScheme
 from repro.kernels.generate import KEY_SHIFT, KernelLayout
+from repro.kernels.supermarket import (
+    CHOICE_BLOCK,
+    EVENT_BLOCK,
+    TIE_BITS,
+    SupermarketStats,
+    finalize_stats,
+    stability_message,
+    validate_supermarket_args,
+)
 from repro.rng import default_generator
-from repro.types import LoadDistribution
+from repro.types import LoadDistribution, QueueingResult
 
 __all__ = [
     "TieBreak",
     "place_ball",
     "sequential_packed_reference",
     "simulate_single_trial",
+    "simulate_supermarket_reference",
 ]
 
 TieBreak = Literal["random", "left"]
@@ -104,6 +119,160 @@ def simulate_single_trial(
         counts=counts,
         max_load_per_trial=np.array([max_load]),
     )
+
+
+def simulate_supermarket_reference(
+    scheme: ChoiceScheme,
+    lam: float,
+    sim_time: float,
+    *,
+    burn_in: float = 0.0,
+    seed: int | np.random.Generator | None = None,
+    max_total_jobs: int | None = None,
+    track_tails: bool = False,
+    tie_break: TieBreak = "random",
+) -> QueueingResult:
+    """Supermarket CTMC as the plainest event loop — the executable spec.
+
+    Implements the draw-stream and state-evolution contract of
+    :mod:`repro.kernels.supermarket` one event at a time, with no
+    performance tricks.  Every backend reachable through
+    :func:`repro.kernels.run_supermarket_kernel` must be bit-identical to
+    this function for the same seed, *and* leave the generator in the same
+    state (callers reuse one generator across sequential runs).
+    """
+    validate_supermarket_args(lam, sim_time, burn_in, tie_break)
+    rng = default_generator(seed)
+    n = scheme.n_bins
+    d = scheme.d
+    if max_total_jobs is None:
+        max_total_jobs = 50 * n
+    left_ties = tie_break == "left"
+    arrival_rate = lam * n
+
+    queue_len = np.zeros(n, dtype=np.int64)
+    fifos: list[list[float]] = [[] for _ in range(n)]
+    busy: list[int] = []  # dense busy slots; departures sample an index
+
+    now = 0.0
+    jobs = 0
+    s_count = 0
+    s_sum = 0.0
+    area = 0.0
+    busy_area = 0.0
+    n_arrivals = 0
+    n_departures = 0
+
+    if track_tails:
+        counts = np.zeros(64, dtype=np.int64)
+        counts[0] = n
+        tail_area = np.zeros(64, dtype=np.float64)
+        last_t = np.zeros(64, dtype=np.float64)
+
+    def _flush_level(lev: int, t: float) -> None:
+        start = max(float(last_t[lev]), burn_in)
+        if t > start:
+            tail_area[lev] += counts[lev] * (t - start)
+        last_t[lev] = t
+
+    ev_i = EVENT_BLOCK  # cursors start exhausted: blocks refill lazily
+    ch_i = CHOICE_BLOCK
+
+    while True:
+        if ev_i == EVENT_BLOCK:
+            expo_block = rng.exponential(1.0, EVENT_BLOCK)
+            event_u = rng.random(EVENT_BLOCK)
+            ev_i = 0
+        b = len(busy)
+        rate = arrival_rate + b
+        t_new = now + expo_block[ev_i] / rate
+        if t_new >= sim_time:
+            break  # terminating event is never committed
+        x = event_u[ev_i] * rate
+        ev_i += 1
+        start = max(now, burn_in)
+        if t_new > start:
+            dt = t_new - start
+            area += jobs * dt
+            busy_area += b * dt
+        now = t_new
+        if x < arrival_rate:  # arrival
+            if ch_i == CHOICE_BLOCK:
+                choice_block = scheme.batch(CHOICE_BLOCK, rng)
+                tie_block = rng.integers(
+                    0, 1 << TIE_BITS, size=(CHOICE_BLOCK, d), dtype=np.int64
+                )
+                ch_i = 0
+            choices = choice_block[ch_i]
+            lengths = queue_len[choices]
+            if left_ties:
+                target = int(choices[np.argmin(lengths)])
+            else:
+                keys = (lengths << TIE_BITS) | tie_block[ch_i]
+                target = int(choices[np.argmin(keys)])
+            ch_i += 1
+            fifos[target].append(now)
+            if queue_len[target] == 0:
+                busy.append(target)
+            queue_len[target] += 1
+            jobs += 1
+            n_arrivals += 1
+            if track_tails:
+                new_len = int(queue_len[target])
+                if new_len + 1 >= len(counts):
+                    counts = np.concatenate([counts, np.zeros_like(counts)])
+                    tail_area = np.concatenate(
+                        [tail_area, np.zeros_like(tail_area)]
+                    )
+                    last_t = np.concatenate([last_t, np.zeros_like(last_t)])
+                _flush_level(new_len - 1, now)
+                _flush_level(new_len, now)
+                counts[new_len - 1] -= 1
+                counts[new_len] += 1
+            if jobs > max_total_jobs:
+                raise StabilityError(stability_message(max_total_jobs, now))
+        else:  # departure: x - arrival_rate is uniform on [0, b)
+            slot = int(x - arrival_rate)
+            if slot >= b:
+                slot = b - 1
+            q = busy[slot]
+            t_arr = fifos[q].pop(0)
+            if t_arr >= burn_in:
+                s_count += 1
+                s_sum += now - t_arr
+            queue_len[q] -= 1
+            if queue_len[q] == 0:  # swap-remove busy slot
+                busy[slot] = busy[-1]
+                busy.pop()
+            jobs -= 1
+            n_departures += 1
+            if track_tails:
+                old_len = int(queue_len[q]) + 1
+                _flush_level(old_len - 1, now)
+                _flush_level(old_len, now)
+                counts[old_len] -= 1
+                counts[old_len - 1] += 1
+
+    start = max(now, burn_in)
+    if sim_time > start:
+        dt = sim_time - start
+        area += jobs * dt
+        busy_area += len(busy) * dt
+    tails_out = None
+    if track_tails:
+        for lev in range(len(counts)):
+            _flush_level(lev, sim_time)
+        tails_out = tail_area
+    stats = SupermarketStats(
+        s_count=s_count,
+        s_sum=float(s_sum),
+        area=float(area),
+        busy_area=float(busy_area),
+        n_arrivals=n_arrivals,
+        n_departures=n_departures,
+        tail_area=tails_out,
+    )
+    return finalize_stats(stats, n=n, sim_time=sim_time, burn_in=burn_in)
 
 
 def sequential_packed_reference(

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.hashing.base import ChoiceScheme
+from repro.metrics import global_registry
 from repro.parallel import map_trial_chunks
 from repro.queueing.supermarket_sim import simulate_supermarket
 
@@ -56,11 +57,12 @@ class _QueueTask:
     lam: float
     sim_time: float
     burn_in: float
+    backend: str | None = None
 
 
 def _run_queue_chunk(
     task: _QueueTask, chunk_runs: int, seed_seq: np.random.SeedSequence
-) -> list[float]:
+) -> list[tuple[float, int]]:
     rng = np.random.default_rng(seed_seq)
     out = []
     for _ in range(chunk_runs):
@@ -70,8 +72,9 @@ def _run_queue_chunk(
             task.sim_time,
             burn_in=task.burn_in,
             seed=rng,
+            backend=task.backend,
         )
-        out.append(result.mean_sojourn_time)
+        out.append((result.mean_sojourn_time, result.n_events or 0))
     return out
 
 
@@ -84,12 +87,17 @@ def run_queueing_experiment(
     burn_in: float = 100.0,
     seed: int | None = None,
     workers: int = 1,
+    backend: str | None = None,
 ) -> QueueingExperiment:
     """Run ``runs`` independent supermarket simulations and aggregate.
 
     Parameters mirror :func:`~repro.queueing.simulate_supermarket`;
     ``workers > 1`` fans runs across a process pool with deterministic
-    spawned seeds (bit-identical to the serial result).
+    spawned seeds (bit-identical to the serial result).  ``backend``
+    travels inside the pickled chunk task, so worker processes run the
+    same supermarket kernel as the parent.  Aggregate event throughput is
+    published to the global metrics registry (``queueing.runs`` /
+    ``queueing.events`` counters).
     """
     if runs < 1:
         raise ConfigurationError(f"runs must be positive, got {runs}")
@@ -97,13 +105,24 @@ def run_queueing_experiment(
     # making results identical for any worker count.
     chunks = map_trial_chunks(
         _run_queue_chunk,
-        _QueueTask(scheme=scheme, lam=lam, sim_time=sim_time, burn_in=burn_in),
+        _QueueTask(
+            scheme=scheme,
+            lam=lam,
+            sim_time=sim_time,
+            burn_in=burn_in,
+            backend=backend,
+        ),
         runs,
         seed=seed,
         workers=workers,
         chunks=runs,
     )
-    per_run = np.array([m for chunk in chunks for m in chunk])
+    per_run = np.array([m for chunk in chunks for m, _ in chunk])
+    registry = global_registry()
+    registry.increment("queueing.runs", len(per_run))
+    registry.increment(
+        "queueing.events", sum(e for chunk in chunks for _, e in chunk)
+    )
     std = float(per_run.std(ddof=1)) if len(per_run) > 1 else 0.0
     return QueueingExperiment(
         mean_sojourn_time=float(per_run.mean()),

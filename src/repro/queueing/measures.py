@@ -4,7 +4,10 @@ The paper reports "the average time over all packets after time 1000" —
 mean sojourn time with a burn-in cutoff.  :class:`SojournAccumulator`
 implements that plus streaming variance (Welford) and a normal-approximation
 confidence interval, and tracks the time-averaged total queue length for
-cross-checking against Little's law.
+cross-checking against Little's law.  It also counts raw arrival/departure
+events and integrates the busy-queue count, so simulators built on it can
+report event throughput and busy fraction (the quantities
+:class:`~repro.types.QueueingResult` carries for the metrics layer).
 """
 
 from __future__ import annotations
@@ -28,13 +31,19 @@ class SojournAccumulator:
 
     burn_in: float = 0.0
     count: int = 0
+    # Raw event counters over the whole run (burn-in included).
+    n_arrivals: int = 0
+    n_departures: int = 0
     _mean: float = 0.0
     _m2: float = 0.0
     # Time-integral of the total number of jobs in the system after burn-in.
     _area: float = 0.0
+    # Time-integral of the busy-queue count after burn-in.
+    _busy_area: float = 0.0
     _area_start: float = 0.0
     _last_time: float = 0.0
     _last_total: int = 0
+    _last_busy: int = 0
 
     def observe_sojourn(self, arrival_time: float, departure_time: float) -> None:
         """Record one completed job (ignored when it arrived during burn-in)."""
@@ -50,17 +59,38 @@ class SojournAccumulator:
         self._mean += delta / self.count
         self._m2 += delta * (sojourn - self._mean)
 
-    def observe_population(self, time: float, total_jobs: int) -> None:
-        """Record the total job count right *after* an event at ``time``.
+    def count_arrival(self) -> None:
+        """Count one arrival event (burn-in included)."""
+        self.n_arrivals += 1
 
-        Must be called in non-decreasing time order; the time-average is
-        accumulated only past ``burn_in``.
+    def count_departure(self) -> None:
+        """Count one departure event (burn-in included)."""
+        self.n_departures += 1
+
+    @property
+    def n_events(self) -> int:
+        """Total events counted (arrivals + departures)."""
+        return self.n_arrivals + self.n_departures
+
+    def observe_population(
+        self, time: float, total_jobs: int, busy_queues: int | None = None
+    ) -> None:
+        """Record job count (and optionally busy count) after an event.
+
+        Must be called in non-decreasing time order; the time-averages are
+        accumulated only past ``burn_in``.  When ``busy_queues`` is given,
+        the busy-queue count is integrated too, feeding
+        :meth:`mean_busy_queues`.
         """
         if time > self.burn_in:
             effective_last = max(self._last_time, self.burn_in)
             self._area += self._last_total * (time - effective_last)
+            if busy_queues is not None:
+                self._busy_area += self._last_busy * (time - effective_last)
         self._last_time = time
         self._last_total = total_jobs
+        if busy_queues is not None:
+            self._last_busy = busy_queues
 
     @property
     def mean(self) -> float:
@@ -93,4 +123,16 @@ class SojournAccumulator:
             raise ValueError("final_time must exceed the burn-in period")
         effective_last = max(self._last_time, self.burn_in)
         area = self._area + self._last_total * (final_time - effective_last)
+        return area / (final_time - self.burn_in)
+
+    def mean_busy_queues(self, final_time: float) -> float:
+        """Time-averaged busy-queue count between burn-in and ``final_time``.
+
+        Requires ``observe_population`` to have been fed ``busy_queues``;
+        divide by the number of queues to obtain the busy fraction.
+        """
+        if final_time <= self.burn_in:
+            raise ValueError("final_time must exceed the burn-in period")
+        effective_last = max(self._last_time, self.burn_in)
+        area = self._busy_area + self._last_busy * (final_time - effective_last)
         return area / (final_time - self.burn_in)

@@ -1,4 +1,4 @@
-"""Event-driven supermarket-model simulator.
+"""Event-driven supermarket-model simulator (thin kernel wrapper).
 
 CTMC formulation
 ----------------
@@ -13,34 +13,27 @@ continuous-time Markov chain whose transitions are:
 
 So the simulator needs no event heap: it repeatedly draws the next event
 type with probability proportional to the two rates and an Exp(λn + b)
-inter-event time.  Per-customer sojourn times require each queue to remember
-its customers' arrival order, kept in per-queue FIFO lists.
+inter-event time.
 
-Randomness budget: choice rows are prefetched from the scheme in blocks to
-amortize numpy call overhead, and event-type/inter-arrival draws are also
-blocked.  Tie-breaking among shortest candidates uses packed integer keys
-(``length << TIE_BITS | random_bits``) shared with the kernel layer's
-convention — one integer argmin per arrival, no float-noise temporaries.
+Since PR 5 the inner loop lives in the kernel subsystem:
+:func:`simulate_supermarket` forwards to
+:func:`repro.kernels.run_supermarket_kernel`, which selects a backend
+(blocked numpy loop, or the numba JIT when installed) under the standard
+explicit > ``REPRO_BACKEND`` > auto resolution.  All backends are
+bit-identical to the oracle
+:func:`repro.kernels.reference.simulate_supermarket_reference`; the
+draw-stream contract lives in :mod:`repro.kernels.supermarket`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConfigurationError
 from repro.hashing.base import ChoiceScheme
-from repro.kernels import resolve_backend
-from repro.queueing.events import IndexedSet
-from repro.queueing.measures import SojournAccumulator
-from repro.rng import default_generator
+from repro.kernels import run_supermarket_kernel
 from repro.types import QueueingResult
 
 __all__ = ["simulate_supermarket"]
-
-_PREFETCH = 4096
-# Tie-key width: collisions (equal length and key) fall back to the first
-# candidate with probability 2**-20 per tie — unobservable at paper scale.
-_TIE_BITS = 20
 
 
 def simulate_supermarket(
@@ -85,155 +78,18 @@ def simulate_supermarket(
         shortest candidate in choice order, the asymmetric rule matching
         Vöcking's scheme when used with a partitioned choice scheme.
     backend:
-        Kernel-backend name, threaded through for uniformity with the
-        balls-and-bins engines: it is validated (and a numba request
-        without numba installed logs the standard fallback event), but
-        the event-driven loop itself is scalar either way.
+        Kernel-backend name (``"numpy"``/``"numba"``); None resolves via
+        ``REPRO_BACKEND`` then auto-detection.  Every backend returns
+        bit-identical results for the same seed.
     """
-    if not 0.0 < lam < 1.0:
-        raise ConfigurationError(f"lambda must be in (0, 1), got {lam}")
-    if sim_time <= 0:
-        raise ConfigurationError(f"sim_time must be positive, got {sim_time}")
-    if not 0.0 <= burn_in < sim_time:
-        raise ConfigurationError(
-            f"burn_in must lie in [0, sim_time); got {burn_in} vs {sim_time}"
-        )
-    if tie_break not in ("random", "left"):
-        raise ConfigurationError(
-            f"tie_break must be 'random' or 'left', got {tie_break!r}"
-        )
-    resolve_backend(backend)
-    rng = default_generator(seed)
-    n = scheme.n_bins
-    if max_total_jobs is None:
-        max_total_jobs = 50 * n
-
-    queue_len = np.zeros(n, dtype=np.int64)
-    # FIFO arrival-time lists per queue; service order within a queue is
-    # first-come-first-served, so a departure completes queue's head job.
-    fifos: list[list[float]] = [[] for _ in range(n)]
-    busy = IndexedSet(n)
-    acc = SojournAccumulator(burn_in=burn_in)
-
-    arrival_rate = lam * n
-    now = 0.0
-    total_jobs = 0
-    left_ties = tie_break == "left"
-
-    # Time-averaged queue-length histogram (lazy-grown counts of queues at
-    # each exact length, plus the time integral of each count).
-    if track_tails:
-        length_counts = np.zeros(64, dtype=np.int64)
-        length_counts[0] = n
-        length_area = np.zeros(64, dtype=np.float64)
-        last_area_time = 0.0
-
-    def _accumulate_tails(up_to: float) -> None:
-        nonlocal last_area_time
-        start = max(last_area_time, burn_in)
-        stop = min(up_to, sim_time)
-        if stop > start:
-            length_area[: len(length_counts)] += length_counts * (stop - start)
-        last_area_time = up_to
-
-    # Prefetched randomness (refilled when exhausted).
-    choice_block = scheme.batch(_PREFETCH, rng)
-    tie_keys = rng.integers(
-        0, 1 << _TIE_BITS, size=(_PREFETCH, scheme.d), dtype=np.int64
-    )
-    choice_idx = 0
-    uniform_block = rng.random(_PREFETCH)
-    expo_block = rng.exponential(1.0, _PREFETCH)
-    event_idx = 0
-
-    from repro.errors import StabilityError
-
-    while True:
-        if event_idx >= _PREFETCH:
-            uniform_block = rng.random(_PREFETCH)
-            expo_block = rng.exponential(1.0, _PREFETCH)
-            event_idx = 0
-        total_rate = arrival_rate + len(busy)
-        now += expo_block[event_idx] / total_rate
-        if track_tails:
-            _accumulate_tails(now)
-        if now >= sim_time:
-            break
-        is_arrival = uniform_block[event_idx] * total_rate < arrival_rate
-        event_idx += 1
-
-        if is_arrival:
-            if choice_idx >= _PREFETCH:
-                choice_block = scheme.batch(_PREFETCH, rng)
-                tie_keys = rng.integers(
-                    0, 1 << _TIE_BITS, size=(_PREFETCH, scheme.d), dtype=np.int64
-                )
-                choice_idx = 0
-            choices = choice_block[choice_idx]
-            lengths = queue_len[choices]
-            if left_ties:
-                target = int(choices[np.argmin(lengths)])
-            else:
-                # Packed integer keys: ordering between distinct lengths
-                # is preserved; ties are broken by the random key bits.
-                target = int(
-                    choices[
-                        np.argmin(
-                            (lengths << _TIE_BITS) | tie_keys[choice_idx]
-                        )
-                    ]
-                )
-            choice_idx += 1
-            fifos[target].append(now)
-            if queue_len[target] == 0:
-                busy.add(target)
-            queue_len[target] += 1
-            if track_tails:
-                new_len = queue_len[target]
-                if new_len + 1 > len(length_counts):
-                    grow = np.zeros(len(length_counts), dtype=np.int64)
-                    length_counts = np.concatenate([length_counts, grow])
-                    length_area = np.concatenate(
-                        [length_area, np.zeros(len(grow))]
-                    )
-                length_counts[new_len - 1] -= 1
-                length_counts[new_len] += 1
-            total_jobs += 1
-            if total_jobs > max_total_jobs:
-                raise StabilityError(
-                    f"population exceeded {max_total_jobs} jobs at t={now:.1f}; "
-                    "system appears unstable"
-                )
-        else:
-            q = busy.sample(rng)
-            arrival_time = fifos[q].pop(0)
-            acc.observe_sojourn(arrival_time, now)
-            queue_len[q] -= 1
-            if queue_len[q] == 0:
-                busy.remove(q)
-            if track_tails:
-                old_len = queue_len[q] + 1
-                length_counts[old_len] -= 1
-                length_counts[old_len - 1] += 1
-            total_jobs -= 1
-        acc.observe_population(now, total_jobs)
-
-    mean_queue = (
-        acc.mean_total_jobs(sim_time) / n if sim_time > burn_in else float("nan")
-    )
-    tails = None
-    if track_tails:
-        window = sim_time - burn_in
-        fractions = length_area / (window * n)
-        # Convert exact-length time fractions to >= i tail fractions.
-        tails = np.cumsum(fractions[::-1])[::-1]
-        tails = np.concatenate(([1.0], tails[1:]))
-        nonzero = np.flatnonzero(tails > 1e-12)
-        tails = tails[: (nonzero[-1] + 2 if nonzero.size else 1)]
-    return QueueingResult(
-        mean_sojourn_time=acc.mean if acc.count else float("nan"),
-        completed_jobs=acc.count,
-        mean_queue_length=mean_queue,
-        sim_time=sim_time,
-        tail_fractions=tails,
+    return run_supermarket_kernel(
+        scheme,
+        lam,
+        sim_time,
+        burn_in=burn_in,
+        seed=seed,
+        max_total_jobs=max_total_jobs,
+        track_tails=track_tails,
+        tie_break=tie_break,
+        backend=backend,
     )

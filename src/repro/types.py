@@ -208,3 +208,26 @@ class QueueingResult:
     (index 0 is 1.0) — comparable to the fluid equilibrium
     ``π_i = λ^((d^i−1)/(d−1))``.  Populated when the simulator is asked to
     track queue lengths."""
+    n_arrivals: int | None = None
+    """Total arrival events over the whole run (burn-in included) — the
+    event-throughput numerator for the metrics layer.  ``None`` on results
+    from producers that never counted events."""
+    n_departures: int | None = None
+    """Total departure events over the whole run (burn-in included)."""
+    busy_fraction: float | None = None
+    """Time-averaged fraction of queues busy (serving at least one job)
+    over ``[burn_in, sim_time]``.  Equals ``λ`` in steady state — a useful
+    built-in sanity check on simulator output."""
+
+    @property
+    def n_events(self) -> int | None:
+        """Total committed events (arrivals + departures), if counted."""
+        if self.n_arrivals is None or self.n_departures is None:
+            return None
+        return self.n_arrivals + self.n_departures
+
+    @property
+    def events_per_time(self) -> float | None:
+        """Committed events per simulated time unit, if counted."""
+        events = self.n_events
+        return None if events is None else events / self.sim_time
