@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""A/B benchmark of keyed service throughput across hashing schemes.
+
+Run as a script (not under pytest-benchmark — the comparison needs
+*interleaved* rounds to survive noisy shared hosts)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--out BENCH_service.json]
+
+Contestants, measured on the acceptance geometry (``n = 2^16`` bins,
+``d = 2``, fresh-key insert stream):
+
+- ``double``     — keyed double hashing over multiply-shift (two hash
+  computations per key — the paper's pitch);
+- ``random``     — d independent multiply-shift hashes per key (the
+  fully random keyed baseline);
+- ``tabulation`` — d independent simple-tabulation hashes (the strongest
+  practical family; the follow-up paper's setting).
+
+Each round inserts ``--keys`` fresh keys into a fresh
+:class:`repro.service.KeyedStore` and times the whole batch (hashing +
+micro-batched least-loaded placement + key-map update).  Contestants run
+round-robin inside one process; per-contestant medians are compared, so
+slow host phases hit every scheme equally.  See ``docs/service.md``.
+
+The JSON written to ``--out`` records per-round wall-clock, medians,
+keyed insert ops/second per scheme, throughput ratios vs ``double``, and
+the final tail loads (max/p99/p999) so balance regressions are visible
+next to throughput.  The repo's acceptance bar is >= 1e6 insert ops/s on
+the numpy path for the default geometry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.metrics import MetricsRegistry                 # noqa: E402
+from repro.service import KeyedStore                      # noqa: E402
+
+SCHEMES = ("double", "random", "tabulation")
+
+
+def _one_round(scheme, n, d, n_keys, seed, micro_batch, key_start):
+    """Insert ``n_keys`` fresh keys into a fresh store; return stats."""
+    store = KeyedStore(
+        n, d, scheme=scheme, seed=seed, micro_batch=micro_batch,
+        metrics=MetricsRegistry(),
+    )
+    keys = np.arange(key_start, key_start + n_keys, dtype=np.int64)
+    t0 = time.perf_counter()
+    store.insert_many(keys)
+    seconds = time.perf_counter() - t0
+    loads = store.loads
+    assert loads.sum() == n_keys, f"{scheme} lost keys"
+    assert store.size == n_keys
+    p99, p999 = (float(q) for q in np.quantile(loads, (0.99, 0.999)))
+    return seconds, {
+        "max_load": int(loads.max()),
+        "p99": p99,
+        "p999": p999,
+    }
+
+
+def run(n=2**16, d=2, n_keys=2**20, seed=20140623, rounds=5,
+        micro_batch=2048):
+    times = {name: [] for name in SCHEMES}
+    tails = {}
+    # Warm-up: every scheme once outside the timed region (tabulation
+    # table draws, numpy allocator pools), with conservation checked.
+    for name in SCHEMES:
+        _, tails[name] = _one_round(
+            name, n, d, n_keys, seed, micro_batch, key_start=1
+        )
+    for r in range(rounds):
+        for name in SCHEMES:            # interleaved round-robin
+            seconds, _ = _one_round(
+                name, n, d, n_keys, seed, micro_batch,
+                key_start=1 + (r + 1) * n_keys,
+            )
+            times[name].append(seconds)
+
+    medians = {name: statistics.median(ts) for name, ts in times.items()}
+    report = {
+        "geometry": {
+            "n_bins": n, "d": d, "n_keys": n_keys, "seed": seed,
+            "micro_batch": micro_batch,
+        },
+        "rounds": rounds,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": {
+            name: {
+                "round_seconds": [round(t, 6) for t in ts],
+                "median_seconds": round(medians[name], 6),
+                "insert_ops_per_second": round(n_keys / medians[name], 1),
+                "throughput_vs_double": round(
+                    medians["double"] / medians[name], 3
+                ),
+                "tail_loads": tails[name],
+            }
+            for name, ts in times.items()
+        },
+    }
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_service.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument("--n", type=int, default=2**16)
+    parser.add_argument("--d", type=int, default=2)
+    parser.add_argument("--keys", type=float, default=2**20,
+                        help="inserts per round (accepts 1e6-style floats)")
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--micro-batch", type=int, default=2048,
+                        dest="micro_batch")
+    parser.add_argument("--seed", type=int, default=20140623)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small fast configuration for CI smoke (2^14 bins, 2^17 keys)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.n = min(args.n, 2**14)
+        args.keys = min(int(args.keys), 2**17)
+        args.rounds = min(args.rounds, 3)
+
+    report = run(
+        n=args.n, d=args.d, n_keys=int(args.keys), seed=args.seed,
+        rounds=args.rounds, micro_batch=args.micro_batch,
+    )
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    for name, r in report["results"].items():
+        print(
+            f"{name:>10}: median {r['median_seconds']*1e3:8.1f} ms  "
+            f"{r['insert_ops_per_second']:>12,.0f} insert ops/s  "
+            f"{r['throughput_vs_double']:5.2f}x vs double  "
+            f"max load {r['tail_loads']['max_load']}"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,18 +26,27 @@ def main() -> None:
     parser.add_argument("--d", type=int, default=4)
     parser.add_argument("--trials", type=int, default=100)
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--backend", choices=["numpy", "numba"], default=None,
+                        help="placement-kernel backend "
+                             "(default: REPRO_BACKEND, then auto)")
+    parser.add_argument("--block", type=int, default=None,
+                        help="ball-steps per kernel superblock "
+                             "(default: sweep-derived)")
     args = parser.parse_args()
+    kernel_kwargs = {"backend": args.backend}
+    if args.block is not None:
+        kernel_kwargs["block"] = args.block
 
     print(f"d-left: {args.n} bins in {args.d} subtables of "
           f"{args.n // args.d}, {args.n} balls, {args.trials} trials\n")
 
     random_dist = simulate_dleft(
         make_dleft_scheme(args.n, args.d, "random"),
-        args.n, args.trials, seed=args.seed,
+        args.n, args.trials, seed=args.seed, **kernel_kwargs,
     ).distribution()
     double_dist = simulate_dleft(
         make_dleft_scheme(args.n, args.d, "double"),
-        args.n, args.trials, seed=args.seed + 1,
+        args.n, args.trials, seed=args.seed + 1, **kernel_kwargs,
     ).distribution()
     fluid = solve_dleft(args.d, 1.0)
 
@@ -52,7 +61,7 @@ def main() -> None:
     # Contrast: the symmetric d-choice scheme on the same geometry.
     standard = simulate_batch(
         DoubleHashingChoices(args.n, args.d), args.n, args.trials,
-        seed=args.seed + 2,
+        seed=args.seed + 2, **kernel_kwargs,
     ).distribution()
     sym_fluid = solve_balls_bins(args.d, 1.0)
     print(f"\nfraction of bins with load >= 2 "

@@ -8,7 +8,11 @@ Commands
   ``--check-drift`` instead verifies EXPERIMENTS.md's paper columns
   against the registry without running anything;
 - ``compare`` — run both schemes on a custom geometry and print the
-  statistical indistinguishability report;
+  statistical indistinguishability report (``--scheme`` swaps the
+  challenger drawn from the unified scheme registry);
+- ``serve`` — drive a keyed workload through the service layer
+  (:mod:`repro.service`) and print throughput + tail-load SLOs, e.g.
+  ``python -m repro serve --scheme tabulation --keys 5e6 --churn 0.5``;
 - ``fluid`` — print fluid-limit tail fractions for a given d and T;
 - ``list`` — list available commands.
 
@@ -35,6 +39,7 @@ from collections.abc import Sequence
 from repro.experiments import format_table
 from repro.experiments import tables as _tables
 from repro.experiments.config import TABLE_DEFAULTS, ExperimentSpec
+from repro.hashing.registry import keyed_scheme_names, scheme_names
 from repro.metrics import MetricsRegistry
 from repro.parallel.engine import ChunkProgress
 
@@ -155,6 +160,54 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="double vs random on a custom geometry"
     )
     _add_spec_options(compare, ExperimentSpec())
+    compare.add_argument(
+        "--scheme", choices=list(scheme_names()), default=None,
+        help="challenger scheme vs fully random "
+             "(default: REPRO_SCHEME, then 'double')",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="keyed service workload: throughput + tail-load SLOs",
+    )
+    serve.add_argument(
+        "--scheme", choices=list(keyed_scheme_names()), default=None,
+        help="keyed placement scheme (default: REPRO_SCHEME, then 'double')",
+    )
+    serve.add_argument(
+        "--bins", type=float, default=2**16,
+        help="number of bins (accepts 65536 or 6.5e4 forms)",
+    )
+    serve.add_argument("--d", type=int, default=2, help="choices per key")
+    serve.add_argument(
+        "--keys", type=float, default=2**18,
+        help="insert operations in the stream (accepts 5e6-style floats)",
+    )
+    serve.add_argument("--batch", type=int, default=8192,
+                       help="nominal inserts per workload step")
+    serve.add_argument("--churn", type=float, default=0.0,
+                       help="delete attempts per insert")
+    serve.add_argument("--lookups", type=float, default=0.0,
+                       help="lookups per insert")
+    serve.add_argument("--popularity", choices=["uniform", "zipf"],
+                       default="uniform",
+                       help="victim/lookup key popularity model")
+    serve.add_argument("--zipf-s", type=float, default=1.2, dest="zipf_s",
+                       help="Zipf exponent for --popularity zipf")
+    serve.add_argument("--arrival", choices=["constant", "ramp", "sine"],
+                       default="constant", help="per-step intensity shape")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="shard count (power of two; 1 = single store)")
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--micro-batch", type=int, default=None,
+                       dest="micro_batch",
+                       help="keys per placement micro-batch")
+    serve.add_argument("--slo-samples", type=int, default=32,
+                       dest="slo_samples",
+                       help="tail-SLO samples over the run (0 disables)")
+    serve.add_argument("--metrics-out", default=None, dest="metrics_out",
+                       metavar="PATH.json",
+                       help="write the metrics snapshot (incl. SLO series)")
 
     fluid = sub.add_parser("fluid", help="fluid-limit tail fractions")
     fluid.add_argument("--d", type=int, default=3)
@@ -228,12 +281,13 @@ def _print_progress(event: ChunkProgress) -> None:
 def _run_compare(args) -> int:
     from repro.analysis import compare_distributions
     from repro.core import run_experiment
-    from repro.hashing import DoubleHashingChoices, FullyRandomChoices
+    from repro.hashing import FullyRandomChoices, resolve_scheme_name
 
-    spec = _spec_from_args("compare", args)
+    spec = _spec_from_args("compare", args).replace(scheme=args.scheme)
+    scheme_name = resolve_scheme_name(spec.scheme)
     random_res = run_experiment(FullyRandomChoices(spec.n, spec.d), spec)
     double_res = run_experiment(
-        DoubleHashingChoices(spec.n, spec.d),
+        spec.build_scheme(seed=spec.seed),
         spec.replace(
             seed=None if spec.seed is None else spec.seed + 1,
             metrics_out=None,
@@ -243,7 +297,8 @@ def _run_compare(args) -> int:
     report = compare_distributions(
         random_res.distribution, double_res.distribution
     )
-    print(f"n={spec.n} d={spec.d} trials={spec.trials}")
+    print(f"n={spec.n} d={spec.d} trials={spec.trials} "
+          f"scheme={scheme_name} (vs fully random)")
     print(f"TV distance:        {report.tv_distance:.6f}")
     print(f"chi-square p-value: {report.p_value:.4f}")
     print(f"max deviation:      {report.max_deviation:.6f} "
@@ -251,6 +306,50 @@ def _run_compare(args) -> int:
     print("verdict: " + (
         "indistinguishable" if report.indistinguishable else "DIFFERENT"
     ))
+    return 0
+
+
+def _run_serve(args) -> int:
+    from repro.service import DEFAULT_MICRO_BATCH, WorkloadSpec
+    from repro.service import run_service_workload
+
+    spec = WorkloadSpec(
+        n_keys=int(args.keys),
+        batch=args.batch,
+        churn=args.churn,
+        lookups=args.lookups,
+        popularity=args.popularity,
+        zipf_s=args.zipf_s,
+        arrival=args.arrival,
+    )
+    metrics = MetricsRegistry()
+    report = run_service_workload(
+        spec,
+        n_bins=int(args.bins),
+        d=args.d,
+        scheme=args.scheme,
+        n_shards=args.shards,
+        seed=args.seed,
+        micro_batch=(
+            args.micro_batch if args.micro_batch is not None
+            else DEFAULT_MICRO_BATCH
+        ),
+        slo_samples=args.slo_samples,
+        metrics=metrics,
+    )
+    print(f"scheme={report.scheme} bins={report.n_bins} d={report.d} "
+          f"shards={report.n_shards}")
+    print(f"ops={report.ops} (inserts={report.inserts} "
+          f"deletes={report.deletes} lookups={report.lookups}) "
+          f"live={report.size}")
+    print(f"throughput: {report.ops_per_sec:,.0f} ops/s total, "
+          f"{report.insert_ops_per_sec:,.0f} insert ops/s")
+    print(f"tail loads: max={report.max_load} p50={report.p50:.1f} "
+          f"p99={report.p99:.1f} p999={report.p999:.1f}")
+    print(f"slo samples: {len(report.slo_series)}")
+    if args.metrics_out:
+        metrics.save(args.metrics_out)
+        print(f"[metrics] wrote {args.metrics_out}", file=sys.stderr)
     return 0
 
 
@@ -337,8 +436,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "list":
         print("commands: " + " ".join(sorted(_TABLE_COMMANDS) +
                                       ["certify", "compare", "fluid", "list",
-                                       "peeling", "validate", "zoo"]))
+                                       "peeling", "serve", "validate", "zoo"]))
         return 0
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "certify":
         return _run_certify(args)
     if args.command == "zoo":

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.certify.anchors import paper_values as _paper_values
 from repro.errors import ConfigurationError
+from repro.hashing.registry import make_scheme, scheme_names
 from repro.kernels import DEFAULT_BLOCK, KNOWN_BACKENDS
 from repro.parallel.engine import EngineConfig
 
@@ -62,6 +63,13 @@ class ExperimentSpec:
         Kernel backend (``"numpy"``/``"numba"``); ``None`` defers to the
         ``REPRO_BACKEND`` environment variable, then auto-detection.
         Worker processes inherit the choice.
+    scheme:
+        Choice-scheme registry name (see
+        :func:`repro.hashing.scheme_names`); ``None`` defers to the
+        ``REPRO_SCHEME`` environment variable, then ``"double"``.
+        Consumed by scheme-agnostic entry points (``compare``,
+        ``serve``); the ``table*`` functions fix their own schemes per
+        the paper.  Build the instance with :meth:`build_scheme`.
     workers:
         Process count; 1 runs in-process (still chunked).
     chunks:
@@ -88,6 +96,7 @@ class ExperimentSpec:
     tie_break: str = "random"
     block: int = DEFAULT_BLOCK
     backend: str | None = None
+    scheme: str | None = None
     workers: int = 1
     chunks: int | None = None
     max_retries: int = 2
@@ -123,6 +132,11 @@ class ExperimentSpec:
                 f"backend must be one of {KNOWN_BACKENDS} or None, "
                 f"got {self.backend!r}"
             )
+        if self.scheme is not None and self.scheme not in scheme_names():
+            raise ConfigurationError(
+                f"scheme must be one of {scheme_names()} or None, "
+                f"got {self.scheme!r}"
+            )
         if self.workers < 0:
             raise ConfigurationError(
                 f"workers must be non-negative, got {self.workers}"
@@ -143,6 +157,15 @@ class ExperimentSpec:
     def replace(self, **changes) -> "ExperimentSpec":
         """A copy of this spec with the given fields replaced."""
         return dataclasses.replace(self, **changes)
+
+    def build_scheme(self, *, rng=None, seed: int | None = None):
+        """Instantiate the spec's choice scheme from the unified registry.
+
+        Resolution is explicit > ``REPRO_SCHEME`` env > ``"double"``
+        (see :func:`repro.hashing.resolve_scheme_name`); geometry comes
+        from ``self.n`` / ``self.d``.
+        """
+        return make_scheme(self.scheme, self.n, self.d, rng=rng, seed=seed)
 
     def engine_config(self) -> EngineConfig:
         """The execution-engine policy encoded by this spec."""

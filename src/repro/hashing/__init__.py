@@ -17,7 +17,15 @@ This package isolates the paper's central variable.  Every scheme implements
 - :mod:`~repro.hashing.hash_functions` — concrete keyed hash families
   (multiply-shift, universal mod-prime, simple tabulation) for structures
   that hash real keys (Bloom filters, cuckoo tables) rather than drawing
-  fresh randomness per ball.
+  fresh randomness per ball;
+- :mod:`~repro.hashing.keyed` — keyed *choice* schemes built from those
+  families (:class:`~repro.hashing.keyed.DoubleHashedKeyed`,
+  :class:`~repro.hashing.keyed.IndependentKeyed`), plus the
+  :class:`~repro.hashing.keyed.KeyedStreamScheme` adapter that lets every
+  engine and kernel consume them;
+- :mod:`~repro.hashing.registry` — the unified string-keyed scheme
+  registry behind :func:`make_scheme` / :func:`make_keyed_scheme`, with
+  explicit > ``REPRO_SCHEME`` env > default name resolution.
 """
 
 from repro.hashing.base import ChoiceScheme
@@ -29,17 +37,37 @@ from repro.hashing.hash_functions import (
     TabulationHash,
     UniversalModPrimeHash,
 )
+from repro.hashing.keyed import (
+    HASH_FAMILIES,
+    DoubleHashedKeyed,
+    IndependentKeyed,
+    KeyedChoices,
+    KeyedStreamScheme,
+    make_hash_family,
+)
 from repro.hashing.pairwise import empirical_pairwise_stats, is_pairwise_uniform
 from repro.hashing.partitioned import (
     PartitionedDoubleHashing,
     PartitionedFullyRandom,
 )
+from repro.hashing.registry import (
+    keyed_scheme_names,
+    make_keyed_scheme,
+    make_scheme,
+    resolve_scheme_name,
+    scheme_names,
+)
 
 __all__ = [
+    "HASH_FAMILIES",
     "BlockChoices",
     "ChoiceScheme",
+    "DoubleHashedKeyed",
     "DoubleHashingChoices",
     "FullyRandomChoices",
+    "IndependentKeyed",
+    "KeyedChoices",
+    "KeyedStreamScheme",
     "MultiplyShiftHash",
     "PartitionedDoubleHashing",
     "PartitionedFullyRandom",
@@ -47,26 +75,10 @@ __all__ = [
     "UniversalModPrimeHash",
     "empirical_pairwise_stats",
     "is_pairwise_uniform",
+    "keyed_scheme_names",
+    "make_hash_family",
+    "make_keyed_scheme",
+    "make_scheme",
+    "resolve_scheme_name",
+    "scheme_names",
 ]
-
-
-def make_scheme(name: str, n_bins: int, d: int) -> ChoiceScheme:
-    """Build a scheme by short name: ``"random"``, ``"double"``,
-    ``"random-left"``, or ``"double-left"``.
-
-    Convenience for experiment configuration files and CLI-style examples.
-    """
-    registry = {
-        "random": lambda: FullyRandomChoices(n_bins, d, replacement=False),
-        "random-replace": lambda: FullyRandomChoices(n_bins, d, replacement=True),
-        "double": lambda: DoubleHashingChoices(n_bins, d),
-        "random-left": lambda: PartitionedFullyRandom(n_bins, d),
-        "double-left": lambda: PartitionedDoubleHashing(n_bins, d),
-        "blocks": lambda: BlockChoices(n_bins, d),
-    }
-    try:
-        return registry[name]()
-    except KeyError:
-        raise ValueError(
-            f"unknown scheme {name!r}; expected one of {sorted(registry)}"
-        ) from None

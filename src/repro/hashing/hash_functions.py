@@ -14,18 +14,38 @@ These families provide that, each with the standard universality guarantee:
   (cited as related work in the paper).
 
 All families hash 64-bit integer keys and are vectorized over numpy arrays.
+Construction draws the family's random parameters from ``rng`` (``None``
+draws fresh OS entropy via :func:`repro.rng.default_generator`, so pass a
+seeded generator for reproducible tables).  Every family exposes a stable
+:meth:`fingerprint` over its drawn parameters; two instances with equal
+fingerprints hash identically, which the service layer
+(:mod:`repro.service`) uses to check shard-merge compatibility.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.numtheory import next_prime
+from repro.rng import default_generator
 
 __all__ = ["UniversalModPrimeHash", "MultiplyShiftHash", "TabulationHash"]
 
 _U64 = np.uint64
+
+
+def _digest(*parts: object) -> str:
+    """Short stable digest of a family's drawn parameters."""
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            h.update(np.ascontiguousarray(part).tobytes())
+        else:
+            h.update(repr(part).encode())
+    return h.hexdigest()
 
 
 class UniversalModPrimeHash:
@@ -43,14 +63,19 @@ class UniversalModPrimeHash:
     """
 
     def __init__(
-        self, n: int, rng: np.random.Generator, *, key_bits: int = 32
+        self, n: int, rng: np.random.Generator | None = None, *, key_bits: int = 32
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"range must be positive, got {n}")
+        rng = default_generator(rng)
         self.n = int(n)
         self.p = next_prime(1 << key_bits)
         self.a = int(rng.integers(1, self.p))
         self.b = int(rng.integers(0, self.p))
+
+    def fingerprint(self) -> str:
+        """Stable digest of ``(n, p, a, b)``."""
+        return _digest("universal", self.n, self.p, self.a, self.b)
 
     def __call__(self, keys: np.ndarray | int) -> np.ndarray | int:
         if np.isscalar(keys):
@@ -72,14 +97,19 @@ class MultiplyShiftHash:
     double hashing suits hardware.
     """
 
-    def __init__(self, n: int, rng: np.random.Generator) -> None:
+    def __init__(self, n: int, rng: np.random.Generator | None = None) -> None:
         if n < 1 or (n & (n - 1)) != 0:
             raise ConfigurationError(
                 f"multiply-shift needs a power-of-two range, got {n}"
             )
+        rng = default_generator(rng)
         self.n = int(n)
         self.shift = 64 - (n.bit_length() - 1) if n > 1 else 64
         self.a = int(rng.integers(0, 1 << 63, dtype=np.int64)) * 2 + 1
+
+    def fingerprint(self) -> str:
+        """Stable digest of ``(n, a)``."""
+        return _digest("multiply-shift", self.n, self.a)
 
     def __call__(self, keys: np.ndarray | int) -> np.ndarray | int:
         if self.n == 1:
@@ -103,9 +133,10 @@ class TabulationHash:
     CHARS = 8
     TABLE_SIZE = 256
 
-    def __init__(self, n: int, rng: np.random.Generator) -> None:
+    def __init__(self, n: int, rng: np.random.Generator | None = None) -> None:
         if n < 1:
             raise ConfigurationError(f"range must be positive, got {n}")
+        rng = default_generator(rng)
         self.n = int(n)
         self.tables = rng.integers(
             0, 1 << 63, size=(self.CHARS, self.TABLE_SIZE), dtype=np.int64
@@ -114,6 +145,10 @@ class TabulationHash:
             0, 2, size=(self.CHARS, self.TABLE_SIZE), dtype=np.int64
         ).astype(_U64)
         self._pow2 = (self.n & (self.n - 1)) == 0
+
+    def fingerprint(self) -> str:
+        """Stable digest of ``(n, tables)``."""
+        return _digest("tabulation", self.n, self.tables)
 
     def __call__(self, keys: np.ndarray | int) -> np.ndarray | int:
         scalar = np.isscalar(keys)

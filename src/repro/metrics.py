@@ -14,8 +14,15 @@ writes; see ``docs/engine.md`` for the field-by-field reference)::
       "counters": {name: number, ...},
       "timers":   {name: {"count", "total", "min", "max", "mean"}, ...},
       "chunks":   [{"index", "trials", "attempts", "seconds", "source"}, ...],
-      "events":   [{"kind", "time", ...extra fields}, ...]
+      "events":   [{"kind", "time", ...extra fields}, ...],
+      "series":   {name: [{"time", ...sample fields}, ...], ...}
     }
+
+``series`` is the time-series sink: ordered samples of evolving state
+(e.g. the service layer's p99/p999/max-load-over-time SLO records),
+appended via :meth:`MetricsRegistry.sample`.  Unlike ``events`` — a single
+interleaved trace log — each series is its own ordered list, so consumers
+can plot one without filtering.
 """
 
 from __future__ import annotations
@@ -74,6 +81,7 @@ class MetricsRegistry:
         self._timers: dict[str, TimerStats] = {}
         self._events: list[dict] = []
         self._chunks: list[dict] = []
+        self._series: dict[str, list[dict]] = {}
 
     # -- counters ---------------------------------------------------------
 
@@ -141,6 +149,31 @@ class MetricsRegistry:
                 }
             )
 
+    # -- time series ------------------------------------------------------
+
+    def sample(self, series: str, **fields) -> None:
+        """Append one sample to the named time series.
+
+        Samples are stamped with wall-clock ``time`` and kept in append
+        order; a series is the right sink for evolving state observed at
+        intervals (tail-load SLO samples, queue depths), where ``event``
+        is for one-off occurrences.
+
+        >>> registry = MetricsRegistry()
+        >>> registry.sample("slo", ops=1000, max_load=3)
+        >>> registry.snapshot()["series"]["slo"][0]["max_load"]
+        3
+        """
+        with self._lock:
+            self._series.setdefault(series, []).append(
+                {"time": time.time(), **fields}
+            )
+
+    def get_series(self, series: str) -> list[dict]:
+        """Samples of one series, in append order (copies; [] if absent)."""
+        with self._lock:
+            return [dict(s) for s in self._series.get(series, [])]
+
     @property
     def events(self) -> list[dict]:
         with self._lock:
@@ -161,6 +194,9 @@ class MetricsRegistry:
                 "timers": {k: t.to_dict() for k, t in self._timers.items()},
                 "chunks": [dict(c) for c in self._chunks],
                 "events": [dict(e) for e in self._events],
+                "series": {
+                    k: [dict(s) for s in v] for k, v in self._series.items()
+                },
             }
 
     def save(self, path: str | Path) -> None:

@@ -1,0 +1,344 @@
+"""The keyed store: live multiple-choice placement addressed by key.
+
+:class:`KeyedStore` is the repo's production-shaped façade over the
+paper's process: items are placed by *hashing their keys* through a keyed
+double-hashing scheme (two hash computations per key — the paper's pitch),
+per-bin load state is live, and insert/delete/lookup streams are processed
+in vectorized batches.
+
+Placement semantics
+-------------------
+``insert_many`` places each batch in **micro-batches** (default 2048
+keys): the candidate loads of one micro-batch are gathered against a
+single load snapshot, every key joins its least-loaded candidate
+(ties to the lowest-index choice, i.e. asymmetric/left — deterministic),
+and the increments are applied before the next micro-batch.  Keys inside
+one micro-batch therefore do not see each other's placements — the batch
+model of balanced allocations, which is exactly how concurrent routers
+behave between state syncs.  ``micro_batch=1`` recovers the strictly
+sequential process.  Given the hash functions (``seed``) and the input
+stream, placement is fully deterministic: no per-ball randomness exists
+anywhere on this path.
+
+State
+-----
+Per-bin loads are a flat int64 vector; the key→bin assignment lives in a
+dict updated in bulk per batch.  Re-inserting a live key is idempotent
+(the existing placement wins; the speculative increment is rolled back and
+counted under ``reinserts``).  Deleting an absent key is counted under
+``delete_misses`` and reported as bin ``-1`` (or raises, with the store
+untouched, under ``missing="error"``).
+
+Tail-SLO observability
+----------------------
+:meth:`KeyedStore.record_slo` pushes a ``{ops, size, max_load, p50, p99,
+p999}`` sample onto a :class:`repro.metrics.MetricsRegistry` time series
+(p-quantiles are over the per-bin load vector — the tail a load balancer's
+SLO cares about).  Pass ``slo_interval`` to sample automatically every so
+many operations.
+
+Sharding
+--------
+:meth:`KeyedStore.merge` combines two stores built from the *same* hash
+functions (checked via scheme fingerprints) over disjoint key sets into a
+new store — deterministic and associative, so shard states can be merged
+in any grouping (see :mod:`repro.service.shard`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing.keyed import KeyedChoices, _as_key_array
+from repro.hashing.registry import make_keyed_scheme
+from repro.metrics import MetricsRegistry, global_registry
+
+__all__ = ["KeyedStore", "DEFAULT_MICRO_BATCH"]
+
+#: Keys placed per load-snapshot micro-batch.  Large enough that the
+#: per-micro-batch numpy dispatch overhead amortizes (the gather/argmin/
+#: scatter costs ~3 ops of this length), small enough that the snapshot
+#: staleness stays far below one ball per bin for the default geometries.
+DEFAULT_MICRO_BATCH = 2048
+
+_COUNTERS = (
+    "inserts",
+    "deletes",
+    "lookups",
+    "reinserts",
+    "delete_misses",
+    "lookup_misses",
+)
+
+
+class KeyedStore:
+    """A keyed dictionary/router placing items via keyed double hashing.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of bins (servers, slots).
+    d:
+        Choices per key (the paper's headline case is 2).
+    scheme:
+        Registry name resolved via
+        :func:`repro.hashing.registry.make_keyed_scheme` (explicit >
+        ``REPRO_SCHEME`` env > ``"double"`` when ``None``), or an existing
+        :class:`~repro.hashing.keyed.KeyedChoices` instance (shards share
+        one instance so their placements are mergeable).
+    seed, rng:
+        Construction-time randomness for the hash-family draws; at most
+        one may be given, and both are ignored when ``scheme`` is already
+        an instance.
+    micro_batch:
+        Keys per load-snapshot micro-batch (see module docstring).
+    slo_interval:
+        Record an SLO sample automatically every this many operations
+        (``None`` — the default — samples only on explicit
+        :meth:`record_slo` calls).
+    metrics:
+        Registry receiving counters/timers/SLO series (global by default).
+    series:
+        Name of the SLO time series in the registry.
+    """
+
+    def __init__(
+        self,
+        n_bins: int,
+        d: int = 2,
+        *,
+        scheme: str | KeyedChoices | None = None,
+        seed: int | None = None,
+        rng: np.random.Generator | None = None,
+        micro_batch: int = DEFAULT_MICRO_BATCH,
+        slo_interval: int | None = None,
+        metrics: MetricsRegistry | None = None,
+        series: str = "service.slo",
+    ) -> None:
+        if micro_batch < 1:
+            raise ConfigurationError(
+                f"micro_batch must be positive, got {micro_batch}"
+            )
+        if slo_interval is not None and slo_interval < 1:
+            raise ConfigurationError(
+                f"slo_interval must be positive, got {slo_interval}"
+            )
+        if isinstance(scheme, KeyedChoices):
+            if scheme.n_bins != n_bins or scheme.d != d:
+                raise ConfigurationError(
+                    f"scheme geometry ({scheme.n_bins}, {scheme.d}) does not "
+                    f"match store geometry ({n_bins}, {d})"
+                )
+            self.keyed = scheme
+        else:
+            self.keyed = make_keyed_scheme(scheme, n_bins, d, rng=rng, seed=seed)
+        self.n_bins = int(n_bins)
+        self.d = int(d)
+        self.micro_batch = int(micro_batch)
+        self.slo_interval = slo_interval
+        self.series = series
+        self.loads = np.zeros(self.n_bins, dtype=np.int64)
+        self._assign: dict[int, int] = {}
+        self._metrics = metrics if metrics is not None else global_registry()
+        self.counters: dict[str, int] = dict.fromkeys(_COUNTERS, 0)
+        self._ops = 0
+        self._ops_at_last_sample = 0
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of live keys."""
+        return len(self._assign)
+
+    @property
+    def ops(self) -> int:
+        """Total operations processed (inserts + deletes + lookups)."""
+        return self._ops
+
+    def load_quantiles(self, qs=(0.5, 0.99, 0.999)) -> tuple[float, ...]:
+        """Quantiles of the per-bin load vector (the SLO tail view)."""
+        return tuple(float(q) for q in np.quantile(self.loads, qs))
+
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        return (
+            f"KeyedStore({self.keyed.describe()}, size={self.size}, "
+            f"micro_batch={self.micro_batch})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+    # -- operations -------------------------------------------------------
+
+    def insert_many(self, keys) -> np.ndarray:
+        """Place a batch of keys; returns the assigned bin per key.
+
+        Each key joins the least-loaded of its ``d`` hashed candidates
+        under micro-batch snapshot semantics (see module docstring).
+        Re-inserted live keys keep their existing bin.
+        """
+        keys = _as_key_array(keys)
+        n_keys = keys.size
+        if n_keys == 0:
+            return np.empty(0, dtype=np.int64)
+        with self._metrics.timer("service.insert_seconds"):
+            choices = self.keyed.choices(keys)
+            bins = np.empty(n_keys, dtype=np.int64)
+            loads = self.loads
+            mb = self.micro_batch
+            for lo in range(0, n_keys, mb):
+                block = choices[lo : lo + mb]
+                rows = np.arange(block.shape[0])
+                picks = np.argmin(loads[block], axis=1)
+                chosen = block[rows, picks]
+                np.add.at(loads, chosen, 1)
+                bins[lo : lo + mb] = chosen
+            # Bulk dict update; live keys keep their old bin and the
+            # speculative increment above is rolled back.
+            assign = self._assign
+            get = assign.get
+            out = bins.tolist()
+            undo: list[int] = []
+            for i, (k, b) in enumerate(zip(keys.tolist(), out)):
+                prev = get(k)
+                if prev is None:
+                    assign[k] = b
+                else:
+                    undo.append(b)
+                    out[i] = prev
+            if undo:
+                np.subtract.at(loads, undo, 1)
+                self.counters["reinserts"] += len(undo)
+        self.counters["inserts"] += n_keys
+        self._ops += n_keys
+        self._metrics.increment("service.inserts", n_keys)
+        self._maybe_sample()
+        return np.asarray(out, dtype=np.int64)
+
+    def delete_many(self, keys, *, missing: str = "ignore") -> np.ndarray:
+        """Remove a batch of keys; returns the freed bin per key.
+
+        Absent keys yield bin ``-1`` and are counted under
+        ``delete_misses``; with ``missing="error"`` the call raises
+        :class:`KeyError` instead, leaving the store untouched.
+        """
+        if missing not in ("ignore", "error"):
+            raise ConfigurationError(
+                f"missing must be 'ignore' or 'error', got {missing!r}"
+            )
+        keys = _as_key_array(keys)
+        if keys.size == 0:
+            return np.empty(0, dtype=np.int64)
+        with self._metrics.timer("service.delete_seconds"):
+            assign = self._assign
+            key_list = keys.tolist()
+            if missing == "error":
+                for k in key_list:
+                    if k not in assign:
+                        raise KeyError(k)
+            pop = assign.pop
+            out = [pop(k, -1) for k in key_list]
+            freed = [b for b in out if b >= 0]
+            if freed:
+                np.subtract.at(self.loads, freed, 1)
+            misses = len(out) - len(freed)
+        self.counters["deletes"] += len(freed)
+        self.counters["delete_misses"] += misses
+        self._ops += keys.size
+        self._metrics.increment("service.deletes", len(freed))
+        if misses:
+            self._metrics.increment("service.delete_misses", misses)
+        self._maybe_sample()
+        return np.asarray(out, dtype=np.int64)
+
+    def lookup_many(self, keys) -> np.ndarray:
+        """Current bin per key (``-1`` for keys not in the store)."""
+        keys = _as_key_array(keys)
+        if keys.size == 0:
+            return np.empty(0, dtype=np.int64)
+        with self._metrics.timer("service.lookup_seconds"):
+            get = self._assign.get
+            out = [get(k, -1) for k in keys.tolist()]
+            misses = out.count(-1)
+        self.counters["lookups"] += keys.size
+        self.counters["lookup_misses"] += misses
+        self._ops += keys.size
+        self._metrics.increment("service.lookups", keys.size)
+        self._maybe_sample()
+        return np.asarray(out, dtype=np.int64)
+
+    # -- SLO sampling -----------------------------------------------------
+
+    def record_slo(self) -> dict:
+        """Record one tail-SLO sample onto the metrics time series.
+
+        Returns the sample (also appended to ``metrics`` under
+        ``self.series``): total ops so far, live size, max load, and the
+        p50/p99/p999 of the per-bin load vector.
+        """
+        p50, p99, p999 = self.load_quantiles()
+        sample = {
+            "ops": self._ops,
+            "size": self.size,
+            "max_load": int(self.loads.max(initial=0)),
+            "p50": p50,
+            "p99": p99,
+            "p999": p999,
+        }
+        self._metrics.sample(self.series, **sample)
+        self._ops_at_last_sample = self._ops
+        return sample
+
+    def _maybe_sample(self) -> None:
+        if (
+            self.slo_interval is not None
+            and self._ops - self._ops_at_last_sample >= self.slo_interval
+        ):
+            self.record_slo()
+
+    # -- shard merge ------------------------------------------------------
+
+    def merge(self, other: "KeyedStore") -> "KeyedStore":
+        """Combine two shard states into a new store (associative).
+
+        Both stores must be built from the same hash functions (equal
+        scheme fingerprints) and hold disjoint key sets; loads, the
+        assignment, and the operation counters are combined.  The SLO
+        series is not merged — the merged store starts a fresh one.
+        """
+        if not isinstance(other, KeyedStore):
+            raise ConfigurationError(
+                f"can only merge KeyedStore, got {type(other).__name__}"
+            )
+        if (self.n_bins, self.d) != (other.n_bins, other.d):
+            raise ConfigurationError(
+                f"geometry mismatch: ({self.n_bins}, {self.d}) vs "
+                f"({other.n_bins}, {other.d})"
+            )
+        if self.keyed.fingerprint() != other.keyed.fingerprint():
+            raise ConfigurationError(
+                "cannot merge shards built from different hash functions "
+                f"({self.keyed.describe()} vs {other.keyed.describe()})"
+            )
+        merged = KeyedStore(
+            self.n_bins,
+            self.d,
+            scheme=self.keyed,
+            micro_batch=self.micro_batch,
+            slo_interval=self.slo_interval,
+            metrics=self._metrics,
+            series=self.series,
+        )
+        merged._assign = {**self._assign, **other._assign}
+        if len(merged._assign) != self.size + other.size:
+            raise ConfigurationError(
+                "cannot merge shards with overlapping keys"
+            )
+        np.add(self.loads, other.loads, out=merged.loads)
+        for name in _COUNTERS:
+            merged.counters[name] = self.counters[name] + other.counters[name]
+        merged._ops = self._ops + other._ops
+        return merged

@@ -1,0 +1,211 @@
+"""Workload generators for the keyed service: churn, skew, and bursts.
+
+A workload is a deterministic stream of per-step batches — fresh-key
+inserts, delete attempts against previously inserted keys, and lookups —
+parameterized along the axes production key-value traffic varies on:
+
+- **popularity**: victims/lookups drawn uniformly over the recency window,
+  or Zipf-skewed toward the most recent keys (truncated Zipf by recency
+  rank — the standard hot-key model);
+- **churn**: delete attempts per insert.  Victims are sampled from the
+  insertion history, so a fraction targets already-deleted keys; the store
+  absorbs those as counted misses, exactly like clients racing deletes in
+  a real system;
+- **arrival**: per-step intensity shaping — constant, a linear ramp
+  (0.5×→1.5×), or a sinusoidal diurnal pattern — scaling the nominal
+  batch size over time.
+
+Streams are generated lazily (:func:`generate_stream`), are fully
+deterministic given the seed, and never materialize more than the history
+log (one int64 per inserted key).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import default_generator
+
+__all__ = ["WorkloadSpec", "StepBatch", "generate_stream", "intensity"]
+
+_POPULARITIES = ("uniform", "zipf")
+_ARRIVALS = ("constant", "ramp", "sine")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Frozen description of one keyed workload.
+
+    Attributes
+    ----------
+    n_keys:
+        Total number of insert operations in the stream.
+    batch:
+        Nominal inserts per step (scaled by the arrival intensity).
+    churn:
+        Delete attempts per insert (0 disables deletes; 1.0 keeps the
+        live population roughly constant after warm-up).
+    lookups:
+        Lookup operations per insert.
+    popularity:
+        ``"uniform"`` or ``"zipf"`` — how victims/lookup keys are drawn
+        from the recency window.
+    zipf_s:
+        Zipf exponent (> 1) for ``popularity="zipf"``.
+    window:
+        Recency window (in keys) victims/lookups are drawn from;
+        ``None`` means ``8 * batch``.
+    arrival:
+        ``"constant"``, ``"ramp"``, or ``"sine"`` per-step intensity.
+    key_start:
+        First key value; keys are consecutive 63-bit integers from here
+        (the hash families do the scattering — sequential keys are the
+        adversarial-but-realistic input for weak hash families).
+    """
+
+    n_keys: int
+    batch: int = 8192
+    churn: float = 0.0
+    lookups: float = 0.0
+    popularity: str = "uniform"
+    zipf_s: float = 1.2
+    window: int | None = None
+    arrival: str = "constant"
+    key_start: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_keys < 1:
+            raise ConfigurationError(
+                f"n_keys must be positive, got {self.n_keys}"
+            )
+        if self.batch < 1:
+            raise ConfigurationError(f"batch must be positive, got {self.batch}")
+        if self.churn < 0:
+            raise ConfigurationError(
+                f"churn must be non-negative, got {self.churn}"
+            )
+        if self.lookups < 0:
+            raise ConfigurationError(
+                f"lookups must be non-negative, got {self.lookups}"
+            )
+        if self.popularity not in _POPULARITIES:
+            raise ConfigurationError(
+                f"popularity must be one of {_POPULARITIES}, "
+                f"got {self.popularity!r}"
+            )
+        if self.popularity == "zipf" and self.zipf_s <= 1.0:
+            raise ConfigurationError(
+                f"zipf_s must exceed 1, got {self.zipf_s}"
+            )
+        if self.window is not None and self.window < 1:
+            raise ConfigurationError(
+                f"window must be positive, got {self.window}"
+            )
+        if self.arrival not in _ARRIVALS:
+            raise ConfigurationError(
+                f"arrival must be one of {_ARRIVALS}, got {self.arrival!r}"
+            )
+
+    @property
+    def effective_window(self) -> int:
+        """Recency window: ``window`` when set, else ``8 * batch``."""
+        return self.window if self.window is not None else 8 * self.batch
+
+    @property
+    def n_steps(self) -> int:
+        """Number of steps at nominal batch size (intensity may shift it)."""
+        return -(-self.n_keys // self.batch)
+
+
+@dataclass(frozen=True)
+class StepBatch:
+    """One step of the stream: the key batches to apply, in order."""
+
+    step: int
+    inserts: np.ndarray
+    deletes: np.ndarray
+    lookups: np.ndarray
+
+
+def intensity(arrival: str, step: int, n_steps: int) -> float:
+    """Arrival-intensity multiplier for ``step`` of ``n_steps``.
+
+    ``constant`` is 1; ``ramp`` climbs linearly 0.5×→1.5×; ``sine`` is a
+    full diurnal cycle ``1 + 0.5·sin(2π·step/n_steps)``.
+    """
+    if arrival == "constant":
+        return 1.0
+    frac = step / max(n_steps - 1, 1)
+    if arrival == "ramp":
+        return 0.5 + frac
+    if arrival == "sine":
+        return 1.0 + 0.5 * float(np.sin(2.0 * np.pi * frac))
+    raise ConfigurationError(f"unknown arrival kind {arrival!r}")
+
+
+def _sample_history(
+    history: np.ndarray,
+    hist_size: int,
+    count: int,
+    spec: WorkloadSpec,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``count`` keys from the recency window of the history log."""
+    if count == 0 or hist_size == 0:
+        return np.empty(0, dtype=np.int64)
+    window = min(spec.effective_window, hist_size)
+    if spec.popularity == "uniform":
+        idx = rng.integers(hist_size - window, hist_size, size=count)
+    else:
+        # Truncated Zipf over recency rank: rank 1 = most recent key.
+        ranks = np.minimum(rng.zipf(spec.zipf_s, size=count), window)
+        idx = hist_size - ranks
+    return history[idx]
+
+
+def generate_stream(
+    spec: WorkloadSpec,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> Iterator[StepBatch]:
+    """Yield the workload's per-step batches, deterministically.
+
+    Inserts are fresh consecutive keys; deletes and lookups sample the
+    insertion history per ``spec.popularity`` over the recency window.
+    The stream ends once exactly ``spec.n_keys`` inserts have been
+    produced (the last step is truncated to fit).
+    """
+    rng = default_generator(seed)
+    n_steps = spec.n_steps
+    history = np.empty(max(spec.batch * 2, 1024), dtype=np.int64)
+    hist_size = 0
+    next_key = spec.key_start
+    produced = 0
+    step = 0
+    while produced < spec.n_keys:
+        scale = intensity(spec.arrival, step, n_steps)
+        b = max(1, int(round(spec.batch * scale)))
+        b = min(b, spec.n_keys - produced)
+        inserts = np.arange(next_key, next_key + b, dtype=np.int64)
+        next_key += b
+        produced += b
+        if hist_size + b > history.size:
+            history = np.concatenate(
+                [history[:hist_size],
+                 np.empty(max(history.size, b) * 2, dtype=np.int64)]
+            )
+        history[hist_size : hist_size + b] = inserts
+        hist_size += b
+        deletes = _sample_history(
+            history, hist_size, int(round(spec.churn * b)), spec, rng
+        )
+        lookups = _sample_history(
+            history, hist_size, int(round(spec.lookups * b)), spec, rng
+        )
+        yield StepBatch(step=step, inserts=inserts, deletes=deletes,
+                        lookups=lookups)
+        step += 1

@@ -48,6 +48,60 @@ class TestMechanics:
             simulate_churn(scheme, 16, -1, 1)
         with pytest.raises(ConfigurationError):
             simulate_churn(scheme, 16, 10, 0)
+        with pytest.raises(ConfigurationError):
+            simulate_churn(scheme, 16, 10, 1, tie_break="middle")
+        with pytest.raises(ConfigurationError):
+            simulate_churn(scheme, 16, 10, 1, block=0)
+
+
+class TestUnifiedKwargs:
+    """simulate_churn mirrors simulate_batch's backend=/block=/tie_break=."""
+
+    def test_golden_determinism(self):
+        """Fixed seed + fixed block → bit-identical loads across calls."""
+        def run():
+            return simulate_churn(
+                DoubleHashingChoices(64, 3), 64, churn_steps=100,
+                trials=4, seed=123, block=32,
+            ).loads
+
+        a, b = run(), run()
+        assert (a == b).all()
+
+    def test_backend_kwarg_accepted_and_recorded(self):
+        from repro.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        batch = simulate_churn(
+            DoubleHashingChoices(64, 2), 64, 50, trials=3, seed=9,
+            backend="numpy", metrics=reg,
+        )
+        assert (batch.loads.sum(axis=1) == 64).all()
+        snap = reg.snapshot()
+        assert snap["counters"]["churn.calls.numpy"] == 1
+        assert "churn.seconds" in snap["timers"]
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_churn(
+                FullyRandomChoices(16, 2), 16, 10, 1, backend="fortran"
+            )
+
+    def test_left_tie_break(self):
+        batch = simulate_churn(
+            DoubleHashingChoices(64, 3), 64, 100, trials=4, seed=10,
+            tie_break="left",
+        )
+        assert (batch.loads.sum(axis=1) == 64).all()
+        assert (batch.loads >= 0).all()
+
+    def test_keyed_scheme_through_registry(self):
+        """The churn engine consumes registry-built keyed schemes."""
+        from repro.hashing import make_scheme
+
+        scheme = make_scheme("tabulation", 64, 2, seed=11)
+        batch = simulate_churn(scheme, 64, 100, trials=3, seed=12)
+        assert (batch.loads.sum(axis=1) == 64).all()
 
 
 class TestPaperClaimUnderChurn:

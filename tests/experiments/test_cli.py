@@ -73,6 +73,30 @@ class TestExecution:
         main(["list"])
         out = capsys.readouterr().out
         assert "zoo" in out and "peeling" in out and "validate" in out
+        assert "serve" in out
+
+    def test_compare_with_scheme(self, capsys):
+        assert main(["compare", "--n", "256", "--d", "2", "--trials", "5",
+                     "--scheme", "tabulation"]) == 0
+        out = capsys.readouterr().out
+        assert "scheme=tabulation" in out and "verdict" in out
+
+    def test_serve_small(self, capsys, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "serve_metrics.json"
+        assert main([
+            "serve", "--scheme", "tabulation", "--keys", "5e3",
+            "--bins", "1024", "--batch", "512", "--churn", "0.5",
+            "--lookups", "0.2", "--popularity", "zipf", "--shards", "2",
+            "--metrics-out", str(metrics_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scheme=tabulation" in out and "throughput" in out
+        snap = json.loads(metrics_path.read_text())
+        assert snap["series"]["service.slo"]
+        sample = snap["series"]["service.slo"][-1]
+        assert {"ops", "size", "max_load", "p50", "p99", "p999"} <= set(sample)
 
     @pytest.mark.parametrize(
         "argv",

@@ -1,0 +1,154 @@
+"""Tests for the keyed store: invariants, determinism, SLO, merge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hashing import make_keyed_scheme
+from repro.metrics import MetricsRegistry
+from repro.service import KeyedStore
+
+
+def fresh_store(**kwargs):
+    kwargs.setdefault("scheme", "double")
+    kwargs.setdefault("seed", 7)
+    kwargs.setdefault("metrics", MetricsRegistry())
+    return KeyedStore(1 << 10, 2, **kwargs)
+
+
+class TestInvariants:
+    def test_load_sum_tracks_size(self):
+        st = fresh_store()
+        keys = np.arange(1, 3001, dtype=np.int64)
+        st.insert_many(keys)
+        assert st.size == 3000
+        assert st.loads.sum() == 3000
+        st.delete_many(keys[:1000])
+        assert st.size == 2000
+        assert st.loads.sum() == 2000
+        assert (st.loads >= 0).all()
+
+    def test_lookup_returns_assigned_bins(self):
+        st = fresh_store()
+        keys = np.arange(1, 501, dtype=np.int64)
+        bins = st.insert_many(keys)
+        assert (st.lookup_many(keys) == bins).all()
+        assert st.lookup_many([10**12])[0] == -1
+        assert st.counters["lookup_misses"] == 1
+
+    def test_reinsert_is_idempotent(self):
+        st = fresh_store()
+        keys = np.arange(1, 501, dtype=np.int64)
+        bins = st.insert_many(keys)
+        again = st.insert_many(keys[:100])
+        assert (again == bins[:100]).all()
+        assert st.counters["reinserts"] == 100
+        assert st.loads.sum() == 500  # speculative increments rolled back
+
+    def test_delete_missing_policies(self):
+        st = fresh_store()
+        st.insert_many(np.arange(1, 11, dtype=np.int64))
+        out = st.delete_many([999], missing="ignore")
+        assert out[0] == -1
+        assert st.counters["delete_misses"] == 1
+        with pytest.raises(KeyError):
+            st.delete_many([999], missing="error")
+        assert st.size == 10  # error path left the store untouched
+        with pytest.raises(ConfigurationError):
+            st.delete_many([1], missing="bogus")
+
+    def test_empty_batches_are_noops(self):
+        st = fresh_store()
+        assert st.insert_many([]).size == 0
+        assert st.delete_many([]).size == 0
+        assert st.lookup_many([]).size == 0
+        assert st.ops == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_placements(self):
+        keys = np.arange(1, 5001, dtype=np.int64)
+        a = fresh_store(seed=42).insert_many(keys)
+        b = fresh_store(seed=42).insert_many(keys)
+        assert (a == b).all()
+
+    def test_micro_batch_one_is_sequential(self):
+        """micro_batch=1 places strictly sequentially: every key sees all
+        earlier placements, so loads within each candidate set differ by
+        at most what sequential least-loaded placement allows."""
+        keys = np.arange(1, 2049, dtype=np.int64)
+        st = fresh_store(seed=3, micro_batch=1)
+        st.insert_many(keys)
+        assert st.loads.sum() == 2048
+
+    def test_shared_scheme_instance_reproduces(self):
+        keyed = make_keyed_scheme("tabulation", 1 << 10, 2, seed=5)
+        keys = np.arange(1, 1001, dtype=np.int64)
+        a = KeyedStore(1 << 10, 2, scheme=keyed, metrics=MetricsRegistry())
+        b = KeyedStore(1 << 10, 2, scheme=keyed, metrics=MetricsRegistry())
+        assert (a.insert_many(keys) == b.insert_many(keys)).all()
+
+
+class TestSLO:
+    def test_record_slo_lands_in_metrics_series(self):
+        reg = MetricsRegistry()
+        st = fresh_store(metrics=reg)
+        st.insert_many(np.arange(1, 2001, dtype=np.int64))
+        sample = st.record_slo()
+        assert sample["size"] == 2000
+        snap = reg.snapshot()
+        assert "service.slo" in snap["series"]
+        recorded = snap["series"]["service.slo"][-1]
+        for field in ("ops", "size", "max_load", "p50", "p99", "p999"):
+            assert field in recorded
+        assert recorded["max_load"] >= recorded["p999"] >= recorded["p99"]
+
+    def test_slo_interval_samples_automatically(self):
+        reg = MetricsRegistry()
+        st = fresh_store(metrics=reg, slo_interval=500)
+        st.insert_many(np.arange(1, 2001, dtype=np.int64))
+        assert len(reg.get_series("service.slo")) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fresh_store(micro_batch=0)
+        with pytest.raises(ConfigurationError):
+            fresh_store(slo_interval=0)
+        with pytest.raises(ConfigurationError):
+            KeyedStore(
+                1 << 10, 2,
+                scheme=make_keyed_scheme("double", 512, 2, seed=1),
+                metrics=MetricsRegistry(),
+            )
+
+
+class TestMerge:
+    def test_merge_combines_disjoint_stores(self):
+        keyed = make_keyed_scheme("double", 1 << 10, 2, seed=9)
+        a = KeyedStore(1 << 10, 2, scheme=keyed, metrics=MetricsRegistry())
+        b = KeyedStore(1 << 10, 2, scheme=keyed, metrics=MetricsRegistry())
+        a.insert_many(np.arange(1, 501, dtype=np.int64))
+        b.insert_many(np.arange(501, 1001, dtype=np.int64))
+        merged = a.merge(b)
+        assert merged.size == 1000
+        assert (merged.loads == a.loads + b.loads).all()
+        assert merged.counters["inserts"] == 1000
+
+    def test_merge_rejects_different_hash_functions(self):
+        a = fresh_store(seed=1)
+        b = fresh_store(seed=2)
+        a.insert_many([1])
+        b.insert_many([2])
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_merge_rejects_overlapping_keys(self):
+        keyed = make_keyed_scheme("double", 1 << 10, 2, seed=9)
+        a = KeyedStore(1 << 10, 2, scheme=keyed, metrics=MetricsRegistry())
+        b = KeyedStore(1 << 10, 2, scheme=keyed, metrics=MetricsRegistry())
+        a.insert_many([1, 2, 3])
+        b.insert_many([3, 4])
+        with pytest.raises(ConfigurationError):
+            a.merge(b)

@@ -1,0 +1,104 @@
+"""Tests for workload generation and the service runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics import MetricsRegistry
+from repro.service import WorkloadSpec, generate_stream, run_service_workload
+from repro.service.workloads import intensity
+
+
+class TestWorkloadSpec:
+    def test_defaults(self):
+        spec = WorkloadSpec(n_keys=1000)
+        assert spec.effective_window == 8 * spec.batch
+        assert spec.n_steps == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(n_keys=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(n_keys=10, churn=-0.1)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(n_keys=10, popularity="hot")
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(n_keys=10, popularity="zipf", zipf_s=1.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(n_keys=10, arrival="burst")
+
+
+class TestStream:
+    def test_exact_insert_count_and_fresh_keys(self):
+        spec = WorkloadSpec(n_keys=10_000, batch=1024, churn=0.5, lookups=0.3)
+        steps = list(generate_stream(spec, seed=1))
+        inserts = np.concatenate([s.inserts for s in steps])
+        assert inserts.size == 10_000
+        assert np.unique(inserts).size == 10_000  # all fresh
+        assert all(s.deletes.size > 0 for s in steps)
+
+    def test_stream_is_deterministic(self):
+        spec = WorkloadSpec(
+            n_keys=5000, batch=512, churn=0.4, lookups=0.2,
+            popularity="zipf", arrival="sine",
+        )
+        a = list(generate_stream(spec, seed=3))
+        b = list(generate_stream(spec, seed=3))
+        for x, y in zip(a, b):
+            assert (x.inserts == y.inserts).all()
+            assert (x.deletes == y.deletes).all()
+            assert (x.lookups == y.lookups).all()
+
+    def test_victims_come_from_history(self):
+        spec = WorkloadSpec(n_keys=4000, batch=512, churn=1.0)
+        seen = set()
+        for step in generate_stream(spec, seed=5):
+            seen.update(step.inserts.tolist())
+            assert set(step.deletes.tolist()) <= seen
+
+    def test_arrival_shapes(self):
+        assert intensity("constant", 3, 10) == 1.0
+        assert intensity("ramp", 0, 10) == pytest.approx(0.5)
+        assert intensity("ramp", 9, 10) == pytest.approx(1.5)
+        assert intensity("sine", 0, 10) == pytest.approx(1.0)
+        spec = WorkloadSpec(n_keys=20_000, batch=1024, arrival="ramp")
+        sizes = [s.inserts.size for s in generate_stream(spec, seed=7)]
+        assert sum(sizes) == 20_000
+        assert sizes[0] < sizes[-2]  # ramp grows (last step may truncate)
+
+
+class TestRunner:
+    def test_report_is_consistent_and_json_ready(self):
+        import json
+
+        spec = WorkloadSpec(n_keys=8000, batch=1024, churn=0.5, lookups=0.25)
+        reg = MetricsRegistry()
+        report = run_service_workload(
+            spec, n_bins=1 << 12, d=2, scheme="double", seed=13,
+            metrics=reg, slo_samples=4,
+        )
+        assert report.inserts == 8000
+        assert report.size == 8000 - report.deletes
+        assert report.ops == report.inserts + report.deletes \
+            + report.counters["delete_misses"] + report.lookups
+        assert len(report.slo_series) >= 2
+        json.dumps(report.to_dict())  # must be JSON-serializable
+
+    def test_sharded_run_matches_population(self):
+        spec = WorkloadSpec(n_keys=6000, batch=1024)
+        report = run_service_workload(
+            spec, n_bins=1 << 12, d=2, scheme="tabulation", seed=17,
+            n_shards=4, metrics=MetricsRegistry(),
+        )
+        assert report.size == 6000
+        assert report.n_shards == 4
+
+    def test_scheme_env_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEME", "tabulation")
+        spec = WorkloadSpec(n_keys=500, batch=256)
+        report = run_service_workload(
+            spec, n_bins=1 << 10, d=2, seed=19, metrics=MetricsRegistry(),
+        )
+        assert "tabulation" in report.scheme
