@@ -19,6 +19,11 @@ depend on the simulated horizon):
 - ``numba``  — the JIT backend, included when numba is importable (first
   call is warmed up outside the timed region).
 
+When numba is not importable the ``numba`` entry is still written, as
+``{"status": "unavailable", "error": ...}`` — a silent fallback can never
+masquerade as a recorded tier.  ``--require-numba`` (the CI bench job
+sets it) turns that into a hard failure.
+
 The legacy loop consumes the RNG in a different order than the kernel
 contract, so contestants are *statistically* equivalent to the kernels,
 not bit-equal; the numpy/numba contestants are asserted bit-identical to
@@ -57,6 +62,8 @@ from repro.kernels import (                                # noqa: E402
 from repro.queueing.events import IndexedSet               # noqa: E402
 from repro.queueing.measures import SojournAccumulator     # noqa: E402
 from repro.rng import default_generator                    # noqa: E402
+
+from bench_kernels import numba_unavailable_entry          # noqa: E402
 
 _PREFETCH = 4096
 _TIE_BITS = 20
@@ -203,6 +210,8 @@ def run(n=500, d=3, lam=0.99, sim_time=100.0, burn_in=20.0, seed=20140623,
             for name, ts in times.items()
         },
     }
+    if "numba" not in report["results"]:
+        report["results"]["numba"] = numba_unavailable_entry()
     return report
 
 
@@ -220,6 +229,10 @@ def main(argv=None):
     parser.add_argument("--burn-in", type=float, default=20.0)
     parser.add_argument("--rounds", type=int, default=7)
     parser.add_argument("--seed", type=int, default=20140623)
+    parser.add_argument(
+        "--require-numba", action="store_true", dest="require_numba",
+        help="fail (exit 1) when numba silently fell back to numpy",
+    )
     args = parser.parse_args(argv)
 
     report = run(
@@ -228,12 +241,24 @@ def main(argv=None):
     )
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     for name, r in report["results"].items():
+        if r.get("status") == "unavailable":
+            print(f"{name:>7}: UNAVAILABLE ({r['error']})")
+            continue
         print(
             f"{name:>7}: median {r['median_seconds']*1e3:8.1f} ms  "
             f"{r['events_per_second']:>12,.0f} events/s  "
             f"{r['speedup_vs_legacy']:5.2f}x vs legacy"
         )
     print(f"wrote {args.out}")
+    if args.require_numba and (
+        report["results"]["numba"].get("status") == "unavailable"
+    ):
+        print(
+            "ERROR: --require-numba set but the numba tier was not "
+            "benchmarked (silent numpy fallback)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

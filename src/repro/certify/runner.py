@@ -583,6 +583,8 @@ def run_certification(
     *,
     backend: str | None = None,
     workers: int | None = None,
+    trials_mode: str | None = None,
+    shards: int | None = None,
     metrics: MetricsRegistry | None = None,
     progress: ProgressHook | None = None,
 ) -> Certification:
@@ -594,8 +596,10 @@ def run_certification(
         Tier name (``"smoke"``/``"standard"``/``"full"``) or a custom
         :class:`~repro.certify.tiers.CertificationTier` (tests use tiny
         ones).
-    backend, workers:
-        Optional overrides applied to every run's spec.
+    backend, workers, trials_mode, shards:
+        Optional overrides applied to every run's spec
+        (``trials_mode="parallel"`` switches every balls-and-bins run to
+        per-trial counter streams; see ``docs/scale.md``).
     metrics, progress:
         Forwarded to :func:`repro.core.run_experiment`.
     """
@@ -621,6 +625,10 @@ def run_certification(
             overrides["backend"] = backend
         if workers is not None:
             overrides["workers"] = workers
+        if trials_mode is not None:
+            overrides["trials_mode"] = trials_mode
+        if shards is not None:
+            overrides["shards"] = shards
         if overrides:
             spec = spec.replace(**overrides)
             run = TableRun(run.table, run.variant, spec, run.extras)

@@ -100,6 +100,53 @@ def _run_chunk(
     return trial_histograms(batch.loads)
 
 
+@dataclass(frozen=True)
+class _ParallelChunkTask:
+    """Chunk description for ``trials_mode="parallel"``.
+
+    Carries the shared ``root`` entropy instead of relying on the
+    engine's spawned per-chunk seeds: every trial's counter-based stream
+    is keyed by ``(root, global trial index)``, so results are identical
+    under any chunking (seed-equivalence; see
+    :mod:`repro.kernels.parallel_trials`).
+    """
+
+    scheme: ChoiceScheme
+    n_balls: int
+    tie_break: str
+    block: int
+    backend: str | None
+    root: int
+    shards: int | None
+
+
+def _run_parallel_chunk(
+    task: _ParallelChunkTask,
+    chunk_trials: int,
+    seed_seq: np.random.SeedSequence,
+    trial_offset: int,
+) -> np.ndarray:
+    """Worker body for parallel-trials mode.
+
+    ``seed_seq`` is unused by design — trial streams derive from
+    ``task.root`` and the global trial index so the histogram matrix does
+    not depend on how trials were partitioned into chunks.
+    """
+    from repro.kernels import run_parallel_trials
+
+    return run_parallel_trials(
+        task.scheme,
+        task.n_balls,
+        chunk_trials,
+        root=task.root,
+        trial_offset=trial_offset,
+        tie_break=task.tie_break,
+        block=task.block,
+        backend=task.backend,
+        shards=task.shards,
+    )
+
+
 def _coerce_spec(
     spec: Any,
     trials: int | None,
@@ -203,18 +250,43 @@ def run_experiment(
 
     n_balls_run = spec.balls
     with registry.timer("experiment.total_seconds"):
-        histograms = engine.map_chunks(
-            _run_chunk,
-            _ChunkTask(
-                scheme=scheme,
-                n_balls=n_balls_run,
-                tie_break=spec.tie_break,
-                block=spec.block,
-                backend=spec.backend,
-            ),
-            spec.trials,
-            seed=spec.seed,
-        )
+        if spec.trials_mode == "parallel":
+            # Resolve the shared root entropy once, in the driver, so
+            # every chunk keys the same per-trial streams even when the
+            # spec asked for fresh entropy.
+            root = (
+                spec.seed
+                if spec.seed is not None
+                else int(np.random.SeedSequence().entropy)
+            )
+            histograms = engine.map_chunks(
+                _run_parallel_chunk,
+                _ParallelChunkTask(
+                    scheme=scheme,
+                    n_balls=n_balls_run,
+                    tie_break=spec.tie_break,
+                    block=spec.block,
+                    backend=spec.backend,
+                    root=root,
+                    shards=spec.shards,
+                ),
+                spec.trials,
+                seed=spec.seed,
+                offsets=True,
+            )
+        else:
+            histograms = engine.map_chunks(
+                _run_chunk,
+                _ChunkTask(
+                    scheme=scheme,
+                    n_balls=n_balls_run,
+                    tie_break=spec.tie_break,
+                    block=spec.block,
+                    backend=spec.backend,
+                ),
+                spec.trials,
+                seed=spec.seed,
+            )
         with registry.timer("experiment.aggregate_seconds"):
             aggregator = StreamingLoadAggregator(
                 n_bins=scheme.n_bins, n_balls=n_balls_run

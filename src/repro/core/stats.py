@@ -166,6 +166,49 @@ class StreamingLoadAggregator:
             self._m2 += chunk_m2 + delta**2 * (self.trials * m / total)
         self.trials += m
 
+    def merge(self, other: "StreamingLoadAggregator") -> None:
+        """Fold another aggregator into this one (Chan et al. merge).
+
+        The pairwise form of the chunked Welford update: two aggregators
+        built from disjoint trial sets merge into exactly the aggregate
+        of their union — associative and commutative up to float
+        rounding (``tests/core`` pins agreement with the batch formulas).
+        This is how sharded giant-``n`` runs combine per-shard partial
+        aggregates in O(max_load) memory (see ``docs/scale.md``).
+        """
+        if (other.n_bins, other.n_balls) != (self.n_bins, self.n_balls):
+            raise ValueError(
+                "geometry mismatch: aggregator is "
+                f"({self.n_bins}, {self.n_balls}), other is "
+                f"({other.n_bins}, {other.n_balls})"
+            )
+        if other.trials == 0:
+            return
+        width = max(len(self._counts), len(other._counts))
+        self._grow(width)
+        pad = width - len(other._counts)
+        # Levels the other aggregator never saw held zero bins in all of
+        # its trials: zero-padding is exact for every accumulator.
+        o_counts = np.pad(other._counts, (0, pad))
+        o_mean = np.pad(other._mean.astype(np.float64), (0, pad))
+        o_m2 = np.pad(other._m2.astype(np.float64), (0, pad))
+        o_mins = np.pad(other._mins, (0, pad))
+        o_maxs = np.pad(other._maxs, (0, pad))
+        self._counts += o_counts
+        self._max_loads.extend(other._max_loads)
+        self._mins = np.minimum(self._mins, o_mins)
+        self._maxs = np.maximum(self._maxs, o_maxs)
+        if self.trials == 0:
+            self._mean = o_mean
+            self._m2 = o_m2
+        else:
+            t1, t2 = self.trials, other.trials
+            total = t1 + t2
+            delta = o_mean - self._mean
+            self._mean += delta * (t2 / total)
+            self._m2 += o_m2 + delta**2 * (t1 * t2 / total)
+        self.trials += other.trials
+
     def distribution(self) -> LoadDistribution:
         """The merged load distribution over all trials seen so far."""
         if self.trials == 0:

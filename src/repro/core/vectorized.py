@@ -17,9 +17,11 @@ flat int32 candidates, and handed to a placement-kernel backend:
   over the same draws, bit-identical to numpy for the same seed.
 
 Backend choice: ``backend=`` argument > ``REPRO_BACKEND`` env > auto.
-Geometries beyond the packed layout's address space (``n ≳ 2^23``) fall
-back to the strided per-ball engine, kept here as
-:func:`_simulate_batch_strided`.
+Geometries beyond the int32 packed address space (``n ≳ 2^23``) now plan
+a *wide* int64 layout (see :mod:`repro.kernels.generate`) and keep the
+fused kernels; the strided per-ball engine
+(:func:`_simulate_batch_strided`) remains only for tables no packed
+layout can host (``n_bins + 1 > 2^31``).
 
 Memory: ``loads`` uses int32 — 4 bytes × trials × n_bins — which bounds
 ``n_balls`` at ``2**31 - 1``; heavier runs are rejected up front with the
@@ -137,7 +139,8 @@ def simulate_batch(
                 chunk = t1 - t0
                 work = np.zeros(chunk * bins_p, dtype=_LOAD_DTYPE)
                 ws = impl.make_workspace(
-                    d=d, trials=chunk, window=window, bins_p=bins_p
+                    d=d, trials=chunk, window=window, bins_p=bins_p,
+                    dtype=layout.dtype,
                 )
                 remaining = n_balls
                 while remaining > 0:
@@ -147,6 +150,15 @@ def simulate_batch(
                     with registry.timer("kernel.place_seconds"):
                         impl.place(work, pc, layout=layout, workspace=ws)
                     remaining -= steps
+                if layout.wide and int(work.max(initial=0)) >> layout.load_bits:
+                    # Sound overflow detector: loads only grow, so a final
+                    # load under 2**load_bits proves no intermediate
+                    # packed key ever wrapped into the sign bit.
+                    raise SimulationError(
+                        f"load field overflow: a bin exceeded 2**"
+                        f"{layout.load_bits} in the wide packed layout "
+                        f"(n_bins={n}, d={d}); results discarded"
+                    )
                 loads[t0:t1] = work.reshape(chunk, bins_p)[:, :n]
             registry.increment("kernel.balls_placed", n_balls * trials)
             registry.increment(f"kernel.calls.{impl.name}", 1)

@@ -92,6 +92,17 @@ def _add_spec_options(p: argparse.ArgumentParser, spec: ExperimentSpec) -> None:
         "--backend", choices=["numpy", "numba"], default=spec.backend,
         help="placement-kernel backend (default: REPRO_BACKEND, then auto)",
     )
+    p.add_argument(
+        "--trials-mode", choices=["chunked", "parallel"],
+        default=spec.trials_mode, dest="trials_mode",
+        help="'parallel' gives each trial an independent counter-based "
+             "stream and runs them in one prange kernel (see docs/scale.md)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=spec.shards,
+        help="aggregation shards for --trials-mode parallel "
+             "(default: sized from n*d)",
+    )
     p.add_argument("--log2-n", type=int, default=spec.log2_n, dest="log2_n")
     p.add_argument(
         "--sim-time", type=float, default=spec.sim_time, dest="sim_time"
@@ -131,6 +142,8 @@ def _spec_from_args(command: str, args: argparse.Namespace) -> ExperimentSpec:
         chunks=args.chunks,
         block=args.block,
         backend=args.backend,
+        trials_mode=args.trials_mode,
+        shards=args.shards,
         log2_n=args.log2_n,
         sim_time=args.sim_time,
         max_retries=args.retries,
@@ -242,6 +255,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel backend override for every run",
     )
     certify.add_argument("--workers", type=int, default=None)
+    certify.add_argument(
+        "--trials-mode", choices=["chunked", "parallel"], default=None,
+        dest="trials_mode",
+        help="trial-execution mode override for every run",
+    )
+    certify.add_argument(
+        "--shards", type=int, default=None,
+        help="aggregation shards for --trials-mode parallel",
+    )
     certify.add_argument(
         "--progress", action="store_true",
         help="print per-chunk completions to stderr",
@@ -423,6 +445,7 @@ def _run_certify(args) -> int:
     progress = _print_progress if args.progress else None
     cert = run_certification(
         args.tier, backend=args.backend, workers=args.workers,
+        trials_mode=args.trials_mode, shards=args.shards,
         progress=progress,
     )
     write_certification(cert, args.out)

@@ -74,6 +74,18 @@ class ExperimentSpec:
         Process count; 1 runs in-process (still chunked).
     chunks:
         Chunk-count override (``None``: engine default).
+    trials_mode:
+        ``"chunked"`` (default) runs trials lock-step per chunk on one
+        shared generator; ``"parallel"`` gives every trial an
+        independent counter-based stream
+        (:mod:`repro.kernels.parallel_trials`) so trials parallelize
+        inside one numba ``prange`` kernel — falling back to the
+        process-pool engine when numba is absent — with results
+        independent of chunking, backend, and host (*seed-equivalence*).
+    shards:
+        Aggregation-shard count for ``trials_mode="parallel"``; ``None``
+        sizes automatically (see
+        :func:`repro.kernels.default_shards` and ``docs/scale.md``).
     max_retries, retry_backoff, chunk_timeout:
         Fault-tolerance policy, see
         :class:`~repro.parallel.engine.EngineConfig`.
@@ -99,6 +111,8 @@ class ExperimentSpec:
     scheme: str | None = None
     workers: int = 1
     chunks: int | None = None
+    trials_mode: str = "chunked"
+    shards: int | None = None
     max_retries: int = 2
     retry_backoff: float = 0.25
     chunk_timeout: float | None = None
@@ -140,6 +154,15 @@ class ExperimentSpec:
         if self.workers < 0:
             raise ConfigurationError(
                 f"workers must be non-negative, got {self.workers}"
+            )
+        if self.trials_mode not in ("chunked", "parallel"):
+            raise ConfigurationError(
+                "trials_mode must be 'chunked' or 'parallel', "
+                f"got {self.trials_mode!r}"
+            )
+        if self.shards is not None and self.shards < 1:
+            raise ConfigurationError(
+                f"shards must be positive, got {self.shards}"
             )
         # Engine-policy fields share EngineConfig's validation.
         self.engine_config()

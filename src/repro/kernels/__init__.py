@@ -50,6 +50,11 @@ from repro.kernels.generate import (
     plan_layout,
 )
 from repro.kernels.numpy_backend import NumpyBackend, choose_window
+from repro.kernels.parallel_trials import (
+    default_shards,
+    fused_parallel_supported,
+    run_parallel_trials,
+)
 from repro.kernels.reference import (
     place_ball,
     sequential_packed_reference,
@@ -57,6 +62,7 @@ from repro.kernels.reference import (
     simulate_supermarket_reference,
 )
 from repro.kernels.supermarket import (
+    check_queue_packing,
     finalize_stats,
     simulate_supermarket_numpy,
     validate_supermarket_args,
@@ -70,12 +76,16 @@ __all__ = [
     "KEY_SHIFT",
     "KernelLayout",
     "available_backends",
+    "check_queue_packing",
     "choose_window",
+    "default_shards",
+    "fused_parallel_supported",
     "generate_packed",
     "kernel_metrics",
     "place_ball",
     "plan_layout",
     "resolve_backend",
+    "run_parallel_trials",
     "run_placement_kernel",
     "run_supermarket_kernel",
     "sequential_packed_reference",
@@ -203,8 +213,9 @@ def run_placement_kernel(
     layout = plan_layout(n_bins, d, tie_break, trials, steps)
     if layout is None:
         raise ConfigurationError(
-            f"n_bins={n_bins} exceeds the packed-kernel address space; "
-            "use simulate_batch, which falls back to the strided engine"
+            f"n_bins={n_bins} exceeds the packed-kernel address space "
+            "(even the wide int64 layout); use simulate_batch, which "
+            "falls back to the strided engine"
         )
     if tie_keys is not None:
         if tie_keys.shape != choices.shape:
@@ -217,26 +228,31 @@ def run_placement_kernel(
             raise ConfigurationError(
                 f"tie_keys must lie in [0, 2**{layout.tie_bits}) for this layout"
             )
+    # The int32 work table bounds loads at 31 value bits; wide layouts may
+    # leave even fewer bits to the packed load field.
+    load_budget = (1 << min(layout.load_bits, 31)) - 1
     if int(loads.min(initial=0)) < 0 or int(loads.max(initial=0)) + steps > (
-        np.iinfo(np.int32).max
+        load_budget
     ):
         raise ConfigurationError(
-            "loads must be non-negative and fit int32 after placing all balls"
+            "loads must be non-negative and fit the packed load field "
+            f"(max {load_budget}) after placing all balls"
         )
     impl = resolve_backend(backend, metrics=metrics)
     registry = metrics if metrics is not None else kernel_metrics()
     window = choose_window(n_bins, d)
     bins_p = layout.bins_p
-    cols = np.arange(d, dtype=np.int32) << np.int32(layout.cidx_bits)
+    dt = layout.dtype
+    cols = np.arange(d, dtype=dt) << dt.type(layout.cidx_bits)
     with registry.timer("kernel.place_seconds"):
         for t0 in range(0, trials, layout.trial_chunk):
             t1 = min(trials, t0 + layout.trial_chunk)
             ct = t1 - t0
             work = np.zeros(ct * bins_p, dtype=np.int32)
             work.reshape(ct, bins_p)[:, :n_bins] = loads[t0:t1]
-            toff = np.arange(ct, dtype=np.int32) * np.int32(bins_p)
-            pc = np.empty((d, ct, steps + 1), dtype=np.int32)
-            pc[:, :, steps] = toff + np.int32(n_bins)
+            toff = np.arange(ct, dtype=dt) * dt.type(bins_p)
+            pc = np.empty((d, ct, steps + 1), dtype=dt)
+            pc[:, :, steps] = toff + dt.type(n_bins)
             body = pc[:, :, :steps]
             np.copyto(
                 body,
@@ -247,10 +263,12 @@ def run_placement_kernel(
                 if layout.tie_bits:
                     body += cols[:, None, None]
             elif tie_keys is not None and layout.tie_bits:
-                keys = tie_keys[t0:t1].transpose(2, 0, 1).astype(np.int32)
-                body += keys << np.int32(layout.cidx_bits)
+                keys = tie_keys[t0:t1].transpose(2, 0, 1).astype(dt)
+                body += keys << dt.type(layout.cidx_bits)
             body += toff[:, None]
-            ws = impl.make_workspace(d=d, trials=ct, window=window, bins_p=bins_p)
+            ws = impl.make_workspace(
+                d=d, trials=ct, window=window, bins_p=bins_p, dtype=dt
+            )
             impl.place(work, pc, layout=layout, workspace=ws)
             loads[t0:t1] = work.reshape(ct, bins_p)[:, :n_bins]
     registry.increment("kernel.balls_placed", trials * steps)
@@ -324,6 +342,7 @@ def run_supermarket_kernel(
     n = scheme.n_bins
     if max_total_jobs is None:
         max_total_jobs = 50 * n
+    check_queue_packing(max_total_jobs)
     left_ties = tie_break == "left"
     if impl.name == "numba":
         simulate = _numba_sm.simulate_supermarket_numba

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.kernels.generate import KEY_SHIFT, KernelLayout
+from repro.kernels.generate import KernelLayout
 
 __all__ = ["NUMBA_AVAILABLE", "NUMBA_IMPORT_ERROR", "NumbaBackend"]
 
@@ -37,7 +37,7 @@ if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installe
 
     @njit(cache=True)
     def _place_sequential(
-        loads: np.ndarray, pc: np.ndarray, cidx_mask: np.int64
+        loads: np.ndarray, pc: np.ndarray, cidx_mask: np.int64, key_shift: np.int64
     ) -> None:
         d, trials, steps_p = pc.shape
         steps = steps_p - 1
@@ -48,7 +48,7 @@ if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installe
                 for j in range(d):
                     p = np.int64(pc[j, t, b])
                     ci = p & cidx_mask
-                    key = (np.int64(loads[ci]) << KEY_SHIFT) + p
+                    key = (np.int64(loads[ci]) << key_shift) + p
                     if key < best_key:
                         best_key = key
                         best_ci = ci
@@ -61,7 +61,7 @@ class NumbaBackend:
     name = "numba"
 
     def make_workspace(
-        self, *, d: int, trials: int, window: int, bins_p: int
+        self, *, d: int, trials: int, window: int, bins_p: int, dtype=np.int32
     ) -> None:
         """Return ``None``: the sequential loop carries no scratch state."""
         return None
@@ -77,5 +77,5 @@ class NumbaBackend:
         """Place every ball of ``pc`` into ``loads``; returns 1 (one pass)."""
         if not NUMBA_AVAILABLE:  # pragma: no cover - registry prevents this
             raise RuntimeError("numba backend selected but numba is not importable")
-        _place_sequential(loads, pc, layout.cidx_mask)
+        _place_sequential(loads, pc, layout.cidx_mask, np.int64(layout.key_shift))
         return 1

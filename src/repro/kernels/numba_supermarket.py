@@ -29,11 +29,15 @@ import numpy as np
 
 from repro.errors import StabilityError
 from repro.hashing.base import ChoiceScheme
-from repro.kernels.numba_backend import NUMBA_AVAILABLE, njit
-from repro.kernels.supermarket import (
+from repro.kernels.blockrng import (
     CHOICE_BLOCK,
     EVENT_BLOCK,
     TIE_BITS,
+    refill_choice_block,
+    refill_event_block,
+)
+from repro.kernels.numba_backend import NUMBA_AVAILABLE, njit
+from repro.kernels.supermarket import (
     SupermarketStats,
     stability_message,
 )
@@ -312,16 +316,12 @@ def simulate_supermarket_numba(
         if reason == _DONE:
             break
         if reason == _NEED_EVENTS:
-            expo = rng.exponential(1.0, EVENT_BLOCK)
-            evu = rng.random(EVENT_BLOCK)
+            expo, evu = refill_event_block(rng)
             istate[_EVI] = 0
         elif reason == _NEED_CHOICES:
-            choices = np.ascontiguousarray(
-                scheme.batch(CHOICE_BLOCK, rng)
-            ).reshape(-1)
-            ties = rng.integers(
-                0, 1 << TIE_BITS, size=(CHOICE_BLOCK, d), dtype=np.int64
-            ).reshape(-1)
+            cb, tb = refill_choice_block(scheme, rng)
+            choices = np.ascontiguousarray(cb).reshape(-1)
+            ties = tb.reshape(-1)
             istate[_CHI] = 0
         elif reason == _NEED_SLOTS:
             new_cap = int(min(cap * 2, max_total_jobs + 2))

@@ -44,18 +44,24 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.kernels.generate import KEY_SHIFT, KernelLayout
+from repro.kernels.generate import KernelLayout
 
 __all__ = ["NumpyBackend", "choose_window"]
 
-_KMUL = np.int64(1 << KEY_SHIFT)
 _STAMP_FAR = np.int32(1 << 30)
 _STAMP_REARM = np.int32(1 << 20)
 
 
 def choose_window(n_bins: int, d: int) -> int:
-    """Pending-window size: on the commits-per-pass plateau (see above)."""
-    return min(192, max(16, n_bins // (d * d * 6)))
+    """Pending-window size: on the commits-per-pass plateau (see above).
+
+    Giant tables get a wider window: commits-per-pass stays far from the
+    conflict regime, and the larger batches amortize the per-pass fixed
+    numpy dispatch cost.  Window size affects scheduling only, never
+    results (the commit schedule is order-independent).
+    """
+    cap = 1024 if n_bins >= (1 << 18) else 192
+    return min(cap, max(16, n_bins // (d * d * 6)))
 
 
 class NumpyWorkspace:
@@ -63,9 +69,14 @@ class NumpyWorkspace:
 
     Geometry-keyed on ``(d, trials, window, bins_p)``; per-call buffers
     (window state, plane offsets) are cheap and rebuilt each ``place``.
+    ``dtype`` is the packed-candidate dtype (int32 narrow, int64 wide);
+    only the gathered packed values need it — indices and loads stay
+    int32 (wide layouts cap the flat index at 31 bits).
     """
 
-    def __init__(self, d: int, trials: int, window: int, bins_p: int) -> None:
+    def __init__(
+        self, d: int, trials: int, window: int, bins_p: int, dtype=np.int32
+    ) -> None:
         self.d = d
         self.trials = trials
         self.window = window
@@ -73,7 +84,7 @@ class NumpyWorkspace:
         plane = (d, trials, window)
         row = (trials, window)
         self.gidx = np.empty(plane, np.int32)
-        self.pcg = np.empty(plane, np.int32)
+        self.pcg = np.empty(plane, dtype)
         self.cidx = np.empty(plane, np.int32)
         self.kv = np.empty(plane, np.int32)
         self.key = np.empty(plane, np.int64)
@@ -101,10 +112,10 @@ class NumpyBackend:
     name = "numpy"
 
     def make_workspace(
-        self, *, d: int, trials: int, window: int, bins_p: int
+        self, *, d: int, trials: int, window: int, bins_p: int, dtype=np.int32
     ) -> NumpyWorkspace:
         """Allocate the scratch buffers for this geometry (reused per chunk)."""
-        return NumpyWorkspace(d, trials, window, bins_p)
+        return NumpyWorkspace(d, trials, window, bins_p, dtype)
 
     def place(
         self,
@@ -125,6 +136,7 @@ class NumpyBackend:
         steps = steps_p - 1
         window = ws.window
         cidx_mask = layout.cidx_mask
+        kmul = np.int64(1) << np.int64(layout.key_shift)
         pcflat = pc.reshape(-1)
         # Flat offsets of each (plane, trial) row inside pcflat; cheap to
         # rebuild per call since steps may differ on the final superblock.
@@ -148,10 +160,10 @@ class NumpyBackend:
             # 1. gather the window's packed candidates
             np.add(win[None, :, :], goff, out=ws.gidx)
             pcflat.take(ws.gidx, out=ws.pcg, mode="clip")
-            np.bitwise_and(ws.pcg, cidx_mask, out=ws.cidx)
+            np.bitwise_and(ws.pcg, cidx_mask, out=ws.cidx, casting="unsafe")
             # 2. picks against frozen loads via packed keys
             loads.take(ws.cidx, out=ws.kv, mode="clip")
-            np.multiply(ws.kv, _KMUL, out=ws.key)
+            np.multiply(ws.kv, kmul, out=ws.key)
             ws.key += ws.pcg
             np.copyto(ws.kmin, ws.key[0])
             for j in range(1, d):

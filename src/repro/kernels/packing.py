@@ -1,0 +1,150 @@
+"""Packed-key width selection and overflow guards for the kernels.
+
+Every hot loop in :mod:`repro.kernels` rides on one idiom: several small
+non-negative fields are packed into a single machine integer so that one
+scalar ``min`` decides a lexicographic comparison.  The placement kernels
+pack ``load << key_shift | tie_key << cidx_bits | flat_bin`` and the
+supermarket kernels pack ``queue_len << TIE_BITS | tie_key``.  Both were
+historically hard-coded (31 value bits of an int32 for placement, a 20-bit
+tie field for queues) with no guard on the high field, so a sufficiently
+deep queue or a sufficiently large table could silently corrupt the argmin.
+
+This module is the one place widths are chosen and checked:
+
+- :func:`field_width` — bits needed to hold a field's value range;
+- :func:`check_packed_fields` — the overflow guard: the fields of a packed
+  key must fit the carrier integer's value bits, else
+  :class:`~repro.errors.ConfigurationError` (never silent wraparound);
+- :func:`select_tie_bits` — the tie-width negotiation the placement layout
+  planner uses (trade tie resolution down for address space);
+- :func:`pack_key` / :func:`unpack_key` — the reference (slow, exact)
+  packing used by tests and documentation.
+
+Carrier widths are expressed in *value bits*: :data:`INT32_VALUE_BITS` (31)
+and :data:`INT64_VALUE_BITS` (63), keeping the sign bit clear so ordinary
+signed comparisons order packed keys correctly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "INT32_VALUE_BITS",
+    "INT64_VALUE_BITS",
+    "check_packed_fields",
+    "field_width",
+    "pack_key",
+    "select_tie_bits",
+    "unpack_key",
+]
+
+#: Value bits of a signed 32-bit carrier (sign bit stays clear).
+INT32_VALUE_BITS = 31
+#: Value bits of a signed 64-bit carrier (sign bit stays clear).
+INT64_VALUE_BITS = 63
+
+
+def field_width(n_values: int) -> int:
+    """Bits needed to hold any value in ``[0, n_values)``.
+
+    ``field_width(1)`` is 0 — a field with a single possible value needs
+    no bits.  Raises for empty ranges.
+    """
+    if n_values < 1:
+        raise ConfigurationError(
+            f"field must have at least one value, got range size {n_values}"
+        )
+    return (n_values - 1).bit_length()
+
+
+def check_packed_fields(
+    fields: dict[str, int], *, carrier_bits: int, context: str
+) -> None:
+    """Guard a packed layout: the named field widths must fit the carrier.
+
+    Parameters
+    ----------
+    fields:
+        Mapping of field name to width in bits (e.g.
+        ``{"queue_len": 44, "tie": 20}``).  Order is documentation only;
+        widths are summed.
+    carrier_bits:
+        Value bits of the carrier integer (:data:`INT32_VALUE_BITS` or
+        :data:`INT64_VALUE_BITS`).
+    context:
+        Short description of the packing site for the error message.
+
+    Raises
+    ------
+    ConfigurationError
+        When the fields overflow the carrier — the failure mode this guard
+        exists to make loud (a wrapped high field silently corrupts every
+        downstream argmin).
+    """
+    for name, bits in fields.items():
+        if bits < 0:
+            raise ConfigurationError(
+                f"{context}: field {name!r} has negative width {bits}"
+            )
+    total = sum(fields.values())
+    if total > carrier_bits:
+        detail = " + ".join(f"{name}:{bits}" for name, bits in fields.items())
+        raise ConfigurationError(
+            f"{context}: packed fields ({detail} = {total} bits) overflow "
+            f"the {carrier_bits}-bit carrier; reduce the widest field or "
+            "use a wider carrier"
+        )
+
+
+def select_tie_bits(
+    bins_p: int,
+    *,
+    preferred: int,
+    minimum: int,
+    address_bits: int,
+) -> int | None:
+    """Largest tie width that still leaves room for the candidate index.
+
+    The placement layout splits ``address_bits`` between the tie key and
+    the flat candidate index.  Starting from ``preferred`` tie bits, the
+    width is traded down (never below ``minimum``) until ``bins_p``
+    addresses fit the remaining bits; returns ``None`` when even the
+    minimum width leaves too little address space.
+    """
+    tie_bits = preferred
+    while bins_p > (1 << (address_bits - tie_bits)):
+        if tie_bits > minimum:
+            tie_bits -= 1
+        else:
+            return None
+    return tie_bits
+
+
+def pack_key(
+    load: int, tie: int, cidx: int, *, tie_bits: int, cidx_bits: int
+) -> int:
+    """Reference packing: ``load << (tie_bits+cidx_bits) | tie << cidx_bits | cidx``.
+
+    Checks every field against its width (the fast kernels skip these
+    checks; tests use this to pin the semantics).
+    """
+    for name, value, bits in (
+        ("tie", tie, tie_bits),
+        ("cidx", cidx, cidx_bits),
+    ):
+        if value < 0 or value >> bits:
+            raise ConfigurationError(
+                f"packed field {name!r}={value} does not fit {bits} bits"
+            )
+    if load < 0:
+        raise ConfigurationError(f"load must be non-negative, got {load}")
+    return (load << (tie_bits + cidx_bits)) | (tie << cidx_bits) | cidx
+
+
+def unpack_key(key: int, *, tie_bits: int, cidx_bits: int) -> tuple[int, int, int]:
+    """Inverse of :func:`pack_key`: ``(load, tie, cidx)``."""
+    cidx = key & ((1 << cidx_bits) - 1)
+    tie = (key >> cidx_bits) & ((1 << tie_bits) - 1)
+    load = key >> (tie_bits + cidx_bits)
+    return load, tie, cidx

@@ -28,12 +28,18 @@ import numpy as np
 
 from repro.errors import ConfigurationError, StabilityError
 from repro.hashing.base import ChoiceScheme
-from repro.kernels.generate import KEY_SHIFT, KernelLayout
-from repro.kernels.supermarket import (
+from repro.kernels.blockrng import (
     CHOICE_BLOCK,
     EVENT_BLOCK,
     TIE_BITS,
+    BlockedDraws,
+    refill_choice_block,
+    refill_event_block,
+)
+from repro.kernels.generate import KernelLayout
+from repro.kernels.supermarket import (
     SupermarketStats,
+    check_queue_packing,
     finalize_stats,
     stability_message,
     validate_supermarket_args,
@@ -134,19 +140,22 @@ def simulate_supermarket_reference(
 ) -> QueueingResult:
     """Supermarket CTMC as the plainest event loop — the executable spec.
 
-    Implements the draw-stream and state-evolution contract of
-    :mod:`repro.kernels.supermarket` one event at a time, with no
-    performance tricks.  Every backend reachable through
-    :func:`repro.kernels.run_supermarket_kernel` must be bit-identical to
-    this function for the same seed, *and* leave the generator in the same
-    state (callers reuse one generator across sequential runs).
+    Implements the draw-stream contract of :mod:`repro.kernels.blockrng`
+    (and the state-evolution contract of
+    :mod:`repro.kernels.supermarket`) one event at a time through
+    :class:`~repro.kernels.blockrng.BlockedDraws` — the executable form of
+    the contract, with no performance tricks.  Every backend reachable
+    through :func:`repro.kernels.run_supermarket_kernel` must be
+    bit-identical to this function for the same seed, *and* leave the
+    generator in the same state (callers reuse one generator across
+    sequential runs).
     """
     validate_supermarket_args(lam, sim_time, burn_in, tie_break)
     rng = default_generator(seed)
     n = scheme.n_bins
-    d = scheme.d
     if max_total_jobs is None:
         max_total_jobs = 50 * n
+    check_queue_packing(max_total_jobs)
     left_ties = tie_break == "left"
     arrival_rate = lam * n
 
@@ -175,21 +184,19 @@ def simulate_supermarket_reference(
             tail_area[lev] += counts[lev] * (t - start)
         last_t[lev] = t
 
-    ev_i = EVENT_BLOCK  # cursors start exhausted: blocks refill lazily
-    ch_i = CHOICE_BLOCK
+    # Cursors start exhausted and refill lazily — the block contract of
+    # repro.kernels.blockrng, consumed through its reference cursor.
+    events = BlockedDraws(EVENT_BLOCK, lambda: refill_event_block(rng))
+    arrivals = BlockedDraws(CHOICE_BLOCK, lambda: refill_choice_block(scheme, rng))
 
     while True:
-        if ev_i == EVENT_BLOCK:
-            expo_block = rng.exponential(1.0, EVENT_BLOCK)
-            event_u = rng.random(EVENT_BLOCK)
-            ev_i = 0
         b = len(busy)
         rate = arrival_rate + b
-        t_new = now + expo_block[ev_i] / rate
+        expo, event_u = events.take()
+        t_new = now + expo / rate
         if t_new >= sim_time:
             break  # terminating event is never committed
-        x = event_u[ev_i] * rate
-        ev_i += 1
+        x = event_u * rate
         start = max(now, burn_in)
         if t_new > start:
             dt = t_new - start
@@ -197,20 +204,13 @@ def simulate_supermarket_reference(
             busy_area += b * dt
         now = t_new
         if x < arrival_rate:  # arrival
-            if ch_i == CHOICE_BLOCK:
-                choice_block = scheme.batch(CHOICE_BLOCK, rng)
-                tie_block = rng.integers(
-                    0, 1 << TIE_BITS, size=(CHOICE_BLOCK, d), dtype=np.int64
-                )
-                ch_i = 0
-            choices = choice_block[ch_i]
+            choices, tie_keys = arrivals.take()
             lengths = queue_len[choices]
             if left_ties:
                 target = int(choices[np.argmin(lengths)])
             else:
-                keys = (lengths << TIE_BITS) | tie_block[ch_i]
+                keys = (lengths << TIE_BITS) | tie_keys
                 target = int(choices[np.argmin(keys)])
-            ch_i += 1
             fifos[target].append(now)
             if queue_len[target] == 0:
                 busy.append(target)
@@ -281,13 +281,14 @@ def sequential_packed_reference(
     """Sequentially place the packed candidates of ``pc``; return loads.
 
     Pure-Python oracle for the kernel backends: same key semantics
-    (minimum of ``load << 31 | packed`` with first-minimum ties), one ball
-    at a time.  Returns the ``(trials, n_bins)`` int64 load table.
+    (minimum of ``load << key_shift | packed`` with first-minimum ties),
+    one ball at a time.  Returns the ``(trials, n_bins)`` int64 load table.
     """
     d, trials, steps_p = pc.shape
     steps = steps_p - 1
     bins_p = layout.bins_p
     mask = int(layout.cidx_mask)
+    key_shift = layout.key_shift
     loads = np.zeros(trials * bins_p, dtype=np.int64)
     for t in range(trials):
         for b in range(steps):
@@ -296,7 +297,7 @@ def sequential_packed_reference(
             for j in range(d):
                 p = int(pc[j, t, b])
                 ci = p & mask
-                key = (int(loads[ci]) << KEY_SHIFT) + p
+                key = (int(loads[ci]) << key_shift) + p
                 if best_key is None or key < best_key:
                     best_key = key
                     best_ci = ci

@@ -14,19 +14,15 @@ Draw-stream contract (bit-identity across backends)
 ---------------------------------------------------
 Every backend — the oracle loop in :mod:`repro.kernels.reference`, the
 blocked numpy loop here, and the numba JIT in
-:mod:`repro.kernels.numba_supermarket` — consumes the generator in exactly
-the same order, so results are **bit-identical** for the same seed and the
-generator is left in the same state afterwards (callers reuse one
-generator across sequential runs):
-
-1. *Event blocks*, refilled lazily when the cursor is exhausted
-   (initially exhausted):  ``expo = rng.exponential(1.0, EVENT_BLOCK)``
-   then ``evu = rng.random(EVENT_BLOCK)``.
-2. *Choice blocks*, refilled lazily when an arrival finds the cursor
-   exhausted: ``choices = scheme.batch(CHOICE_BLOCK, rng)`` then
-   ``ties = rng.integers(0, 2**TIE_BITS, (CHOICE_BLOCK, d), dtype=int64)``.
-   Tie keys are drawn even under ``tie_break="left"`` (and ignored), so
-   the stream does not depend on the tie rule.
+:mod:`repro.kernels.numba_supermarket` — consumes the generator through
+the unified block contract of :mod:`repro.kernels.blockrng`: lazily
+refilled *event blocks* (:func:`~repro.kernels.blockrng.refill_event_block`)
+and *choice blocks* (:func:`~repro.kernels.blockrng.refill_choice_block`),
+cursors initially exhausted.  Results are therefore **bit-identical** for
+the same seed and the generator is left in the same state afterwards
+(callers reuse one generator across sequential runs).  Tie keys are drawn
+even under ``tie_break="left"`` (and ignored), so the stream does not
+depend on the tie rule.
 
 Per event, with ``rate = λn + b``: the inter-event time is
 ``expo[i] / rate`` (a division — backends must not substitute a
@@ -51,32 +47,82 @@ variants must reproduce exactly.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ConfigurationError, StabilityError
 from repro.hashing.base import ChoiceScheme
+from repro.kernels.blockrng import (
+    CHOICE_BLOCK as _CHOICE_BLOCK,
+)
+from repro.kernels.blockrng import (
+    EVENT_BLOCK as _EVENT_BLOCK,
+)
+from repro.kernels.blockrng import (
+    TIE_BITS as _TIE_BITS,
+)
+from repro.kernels.blockrng import (
+    refill_choice_block,
+    refill_event_block,
+)
+from repro.kernels.packing import (
+    INT64_VALUE_BITS,
+    check_packed_fields,
+    field_width,
+)
 from repro.types import QueueingResult
 
 __all__ = [
-    "CHOICE_BLOCK",
-    "EVENT_BLOCK",
-    "TIE_BITS",
     "SupermarketStats",
+    "check_queue_packing",
     "finalize_stats",
     "simulate_supermarket_numpy",
     "stability_message",
     "validate_supermarket_args",
 ]
 
-#: Events per prefetched exponential/uniform block.
-EVENT_BLOCK = 4096
-#: Arrivals per prefetched choice/tie-key block.
-CHOICE_BLOCK = 4096
-#: Tie-key width: collisions (equal length and key) fall back to the first
-#: candidate with probability 2**-20 per tie — unobservable at paper scale.
-TIE_BITS = 20
+# The draw-block sizes and tie width now live in repro.kernels.blockrng;
+# the historical public names here remain importable for one release via
+# the deprecation shim in __getattr__ below.
+_DEPRECATED_CONSTANTS = {
+    "EVENT_BLOCK": _EVENT_BLOCK,
+    "CHOICE_BLOCK": _CHOICE_BLOCK,
+    "TIE_BITS": _TIE_BITS,
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_CONSTANTS:
+        warnings.warn(
+            f"repro.kernels.supermarket.{name} is deprecated; import it "
+            "from repro.kernels.blockrng (removal one release after 1.2)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _DEPRECATED_CONSTANTS[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def check_queue_packing(max_total_jobs: int) -> None:
+    """Guard the ``queue_len << TIE_BITS | tie`` packing against overflow.
+
+    A queue can grow to ``max_total_jobs`` before the stability valve
+    trips, so its length field needs ``field_width(max_total_jobs + 1)``
+    bits; together with the tie key the packed comparison key must fit
+    int64's 63 value bits, else the argmin would be silently corrupted.
+    Raises :class:`~repro.errors.ConfigurationError` at the boundary
+    (``max_total_jobs >= 2**43`` with the default 20 tie bits).
+    """
+    check_packed_fields(
+        {
+            "queue_len": field_width(max_total_jobs + 1),
+            "tie": _TIE_BITS,
+        },
+        carrier_bits=INT64_VALUE_BITS,
+        context=f"supermarket queue key (max_total_jobs={max_total_jobs})",
+    )
 
 
 @dataclass(frozen=True)
@@ -193,7 +239,7 @@ def simulate_supermarket_numpy(
     n = scheme.n_bins
     d = scheme.d
     ar = lam * n
-    one = 1 << TIE_BITS  # packed-length increment
+    one = 1 << _TIE_BITS  # packed-length increment
 
     qkey = [0] * n  # queue length << TIE_BITS
     fifos: list[list[float]] = [[] for _ in range(n)]
@@ -218,15 +264,16 @@ def simulate_supermarket_numpy(
 
     expo: list[float] = []
     evu: list[float] = []
-    ev_i = EVENT_BLOCK
+    ev_i = _EVENT_BLOCK
     cb: list[list[int]] = []
     tb: list[list[int]] = []
-    ch_i = CHOICE_BLOCK
+    ch_i = _CHOICE_BLOCK
 
     while True:
-        if ev_i == EVENT_BLOCK:
-            expo = rng.exponential(1.0, EVENT_BLOCK).tolist()
-            evu = rng.random(EVENT_BLOCK).tolist()
+        if ev_i == _EVENT_BLOCK:
+            expo_a, evu_a = refill_event_block(rng)
+            expo = expo_a.tolist()
+            evu = evu_a.tolist()
             ev_i = 0
         rate = ar + b
         t_new = now + expo[ev_i] / rate
@@ -243,11 +290,10 @@ def simulate_supermarket_numpy(
             busy_area += b * dt
         now = t_new
         if x < ar:  # arrival
-            if ch_i == CHOICE_BLOCK:
-                cb = scheme.batch(CHOICE_BLOCK, rng).tolist()
-                tb = rng.integers(
-                    0, one, size=(CHOICE_BLOCK, d), dtype=np.int64
-                ).tolist()
+            if ch_i == _CHOICE_BLOCK:
+                cb_a, tb_a = refill_choice_block(scheme, rng)
+                cb = cb_a.tolist()
+                tb = tb_a.tolist()
                 ch_i = 0
             row = cb[ch_i]
             if left_ties:
@@ -279,7 +325,7 @@ def simulate_supermarket_numpy(
             jobs += 1
             n_arr += 1
             if track_tails:
-                new_len = (k >> TIE_BITS) + 1
+                new_len = (k >> _TIE_BITS) + 1
                 if new_len + 1 >= len(counts):
                     grow = len(counts)
                     counts.extend([0] * grow)
@@ -322,7 +368,7 @@ def simulate_supermarket_numpy(
             jobs -= 1
             n_dep += 1
             if track_tails:
-                old_len = (k >> TIE_BITS) + 1
+                old_len = (k >> _TIE_BITS) + 1
                 for lev in (old_len - 1, old_len):
                     s = last_t[lev]
                     if s < burn_in:

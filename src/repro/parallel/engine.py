@@ -230,11 +230,15 @@ class _CheckpointWriter:
             fh.flush()
 
 
-def _invoke(
-    args: tuple[Callable[[Any, int, np.random.SeedSequence], T], Any, int, np.random.SeedSequence],
-) -> T:
-    func, task, chunk_trials, seed_seq = args
-    return func(task, chunk_trials, seed_seq)
+def _invoke(args: tuple) -> Any:
+    """Unpack one job tuple: ``(func, task, trials, seed_seq[, offset])``.
+
+    The optional fifth element is the chunk's global trial offset
+    (``map_chunks(..., offsets=True)``), used by trial-indexed work such
+    as the parallel-trials mode.
+    """
+    func, task, chunk_trials, seed_seq, *rest = args
+    return func(task, chunk_trials, seed_seq, *rest)
 
 
 # -- the engine -----------------------------------------------------------
@@ -268,17 +272,22 @@ class ExecutionEngine:
 
     def map_chunks(
         self,
-        func: Callable[[Any, int, np.random.SeedSequence], T],
+        func: Callable[..., T],
         task: Any,
         trials: int,
         *,
         seed: int | None = None,
+        offsets: bool = False,
     ) -> list[T]:
         """Run ``func`` over partitioned trials; one result per chunk.
 
         Results are returned in chunk order regardless of scheduling,
         retries, or checkpoint restores, so aggregation downstream is
-        deterministic given the root ``seed``.
+        deterministic given the root ``seed``.  With ``offsets=True``
+        each call also receives the chunk's global trial offset as a
+        fourth argument — ``func(task, chunk_trials, seed_seq, offset)``
+        — so trial-indexed work (parallel-trials mode) addresses the
+        same per-trial streams under any chunking.
         """
         from repro.parallel.pool import default_workers, partition_trials
 
@@ -291,7 +300,16 @@ class ExecutionEngine:
         )
         sizes = [s for s in partition_trials(trials, chunk_count) if s > 0]
         seeds = spawn_seeds(seed, len(sizes))
-        jobs = [(func, task, size, s) for size, s in zip(sizes, seeds)]
+        if offsets:
+            starts = [0] * len(sizes)
+            for i in range(1, len(sizes)):
+                starts[i] = starts[i - 1] + sizes[i - 1]
+            jobs = [
+                (func, task, size, s, off)
+                for size, s, off in zip(sizes, seeds, starts)
+            ]
+        else:
+            jobs = [(func, task, size, s) for size, s in zip(sizes, seeds)]
         total = len(jobs)
         self.metrics.increment("engine.chunks_total", total)
         # Pre-register the fault counters so every snapshot has a stable

@@ -1,0 +1,147 @@
+"""Streaming Welford merge tests (`StreamingLoadAggregator.merge`)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.max_load_stats import bootstrap_mean_ci
+from repro.core.stats import StreamingLoadAggregator
+
+N_BINS, N_BALLS = 64, 64
+
+
+def _random_histograms(rng, trials, width):
+    """Per-trial histograms with the correct bin total (sum == N_BINS)."""
+    out = np.zeros((trials, width), np.int64)
+    for t in range(trials):
+        levels = rng.integers(0, width, size=N_BINS)
+        out[t] = np.bincount(levels, minlength=width)
+    return out
+
+
+def _agg(histograms=None):
+    agg = StreamingLoadAggregator(n_bins=N_BINS, n_balls=N_BALLS)
+    if histograms is not None and len(histograms):
+        agg.update_histograms(histograms)
+    return agg
+
+
+def _assert_same_aggregate(a, b, *, rtol=1e-9):
+    assert a.trials == b.trials
+    da, db = a.distribution(), b.distribution()
+    assert np.array_equal(da.counts, db.counts)
+    assert sorted(da.max_load_per_trial) == sorted(db.max_load_per_trial)
+    width = max(len(a._counts), len(b._counts))
+    for load in range(width):
+        sa, sb = a.level_stats(load), b.level_stats(load)
+        assert (sa.minimum, sa.maximum) == (sb.minimum, sb.maximum)
+        assert sa.mean == pytest.approx(sb.mean, rel=rtol, abs=1e-12)
+        assert sa.std == pytest.approx(sb.std, rel=1e-6, abs=1e-9)
+
+
+class TestMergeCorrectness:
+    def test_merge_equals_single_pass(self):
+        rng = np.random.default_rng(1)
+        hists = _random_histograms(rng, 30, 5)
+        whole = _agg(hists)
+        left, right = _agg(hists[:12]), _agg(hists[12:])
+        left.merge(right)
+        _assert_same_aggregate(left, whole)
+
+    def test_merge_pads_mismatched_widths(self):
+        rng = np.random.default_rng(2)
+        wide = _random_histograms(rng, 8, 6)
+        narrow = _random_histograms(rng, 8, 3)
+        whole = _agg(np.pad(narrow, ((0, 0), (0, 3))))
+        whole.update_histograms(wide)
+        merged = _agg(narrow)
+        merged.merge(_agg(wide))
+        _assert_same_aggregate(merged, whole)
+
+    def test_merge_into_empty_copies(self):
+        rng = np.random.default_rng(3)
+        hists = _random_histograms(rng, 10, 4)
+        empty = _agg()
+        empty.merge(_agg(hists))
+        _assert_same_aggregate(empty, _agg(hists))
+
+    def test_merge_of_empty_is_noop(self):
+        rng = np.random.default_rng(4)
+        hists = _random_histograms(rng, 10, 4)
+        agg = _agg(hists)
+        agg.merge(_agg())
+        _assert_same_aggregate(agg, _agg(hists))
+
+    def test_associativity(self):
+        rng = np.random.default_rng(5)
+        parts = [_random_histograms(rng, t, 5) for t in (7, 11, 3)]
+        left = _agg(parts[0])
+        left.merge(_agg(parts[1]))
+        left.merge(_agg(parts[2]))
+        bc = _agg(parts[1])
+        bc.merge(_agg(parts[2]))
+        right = _agg(parts[0])
+        right.merge(bc)
+        _assert_same_aggregate(left, right)
+
+    def test_geometry_mismatch_raises(self):
+        other = StreamingLoadAggregator(n_bins=N_BINS + 1, n_balls=N_BALLS)
+        with pytest.raises(ValueError, match="geometry"):
+            _agg().merge(other)
+
+
+class TestAgainstBatchFormulas:
+    def test_mean_std_match_numpy(self):
+        rng = np.random.default_rng(6)
+        hists = _random_histograms(rng, 40, 5)
+        agg = _agg(hists[:15])
+        agg.merge(_agg(hists[15:25]))
+        agg.merge(_agg(hists[25:]))
+        for load in range(5):
+            col = hists[:, load].astype(float)
+            stats = agg.level_stats(load)
+            assert stats.mean == pytest.approx(col.mean(), rel=1e-12)
+            assert stats.std == pytest.approx(col.std(ddof=1), rel=1e-9)
+            assert stats.minimum == col.min()
+            assert stats.maximum == col.max()
+
+    def test_bootstrap_paths_agree_after_merge(self):
+        # The bootstrap CIs consume dist.max_load_per_trial; a merged
+        # aggregator must hand them the same trials (order-insensitively,
+        # so compare on sorted maxima, which the resampler treats as a
+        # multiset via its index draw over identical sorted inputs).
+        rng = np.random.default_rng(7)
+        hists = _random_histograms(rng, 50, 6)
+        whole = _agg(hists)
+        merged = _agg(hists[:20])
+        merged.merge(_agg(hists[20:]))
+        full = np.sort(whole.distribution().max_load_per_trial)
+        parts = np.sort(merged.distribution().max_load_per_trial)
+        assert np.array_equal(full, parts)
+        assert bootstrap_mean_ci(full, seed=3) == bootstrap_mean_ci(
+            parts, seed=3
+        )
+
+
+class TestShardedGiantN:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        splits=st.lists(st.integers(1, 6), min_size=1, max_size=6),
+        width=st.integers(2, 7),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_any_partition_merges_to_the_whole(self, splits, width, seed):
+        # Property: however trials are partitioned into per-shard (or
+        # per-host) aggregators, merging the partials reproduces the
+        # single-pass aggregate — the giant-n reduction contract.
+        rng = np.random.default_rng(seed)
+        trials = sum(splits)
+        hists = _random_histograms(rng, trials, width)
+        whole = _agg(hists)
+        merged = _agg()
+        start = 0
+        for size in splits:
+            merged.merge(_agg(hists[start : start + size]))
+            start += size
+        _assert_same_aggregate(merged, whole)

@@ -1,0 +1,95 @@
+"""Tests for the packed-field width negotiation (`repro.kernels.packing`)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.packing import (
+    INT32_VALUE_BITS,
+    INT64_VALUE_BITS,
+    check_packed_fields,
+    field_width,
+    pack_key,
+    select_tie_bits,
+    unpack_key,
+)
+
+
+class TestFieldWidth:
+    def test_exact_powers(self):
+        assert field_width(1) == 0
+        assert field_width(2) == 1
+        assert field_width(1024) == 10
+        assert field_width(1025) == 11
+        assert field_width(1 << 43) == 43
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            field_width(0)
+        with pytest.raises(ConfigurationError):
+            field_width(-3)
+
+
+class TestCheckPackedFields:
+    def test_accepts_exact_fit(self):
+        check_packed_fields(
+            {"load": 33, "tie": 10, "cidx": 20},
+            carrier_bits=INT64_VALUE_BITS,
+            context="test layout",
+        )
+
+    def test_rejects_overflow_with_context(self):
+        with pytest.raises(ConfigurationError, match="supermarket"):
+            check_packed_fields(
+                {"queue_len": 44, "tie": 20},
+                carrier_bits=INT64_VALUE_BITS,
+                context="supermarket",
+            )
+
+    def test_rejects_negative_width(self):
+        with pytest.raises(ConfigurationError):
+            check_packed_fields(
+                {"x": -1}, carrier_bits=INT32_VALUE_BITS, context="test"
+            )
+
+
+class TestSelectTieBits:
+    def test_preferred_fits(self):
+        assert (
+            select_tie_bits(1 << 10, preferred=10, minimum=8, address_bits=31)
+            == 10
+        )
+
+    def test_trades_down(self):
+        # 2^22 addresses need 22 bits, leaving 9 of 31 for ties: below
+        # preferred, at or above minimum.
+        assert (
+            select_tie_bits(1 << 22, preferred=10, minimum=8, address_bits=31)
+            == 9
+        )
+
+    def test_none_when_even_minimum_overflows(self):
+        assert (
+            select_tie_bits(1 << 30, preferred=10, minimum=8, address_bits=31)
+            is None
+        )
+
+
+class TestPackRoundTrip:
+    def test_roundtrip(self):
+        load, tie, cidx = 19, 1001, (1 << 17) - 3
+        key = pack_key(load, tie, cidx, tie_bits=10, cidx_bits=17)
+        assert unpack_key(key, tie_bits=10, cidx_bits=17) == (load, tie, cidx)
+
+    def test_rejects_field_overflow(self):
+        with pytest.raises(ConfigurationError):
+            pack_key(0, 1 << 10, 0, tie_bits=10, cidx_bits=17)
+        with pytest.raises(ConfigurationError):
+            pack_key(0, 0, 1 << 17, tie_bits=10, cidx_bits=17)
+        with pytest.raises(ConfigurationError):
+            pack_key(-1, 0, 0, tie_bits=10, cidx_bits=17)
+
+    def test_key_ordering_is_load_major(self):
+        # A lower load always wins, whatever the tie/cidx fields hold.
+        low = pack_key(1, (1 << 10) - 1, 9, tie_bits=10, cidx_bits=17)
+        high = pack_key(2, 0, 0, tie_bits=10, cidx_bits=17)
+        assert low < high
