@@ -6,8 +6,9 @@ extras — and (b) the statistical thresholds the checks are judged at.
 Three tiers ship:
 
 ``smoke``
-    Minutes-scale, wired into CI.  Covers Tables 1, 2, 3 and 8 at
-    reduced trial counts with generous (but documented) envelopes.
+    Minutes-scale, wired into CI.  Covers Tables 1, 2, 3 and 8 plus the
+    derived peeling-threshold cells at reduced trial counts with
+    generous (but documented) envelopes.
 ``standard``
     The EXPERIMENTS.md reproduction scale — every table, tens of
     minutes, tighter envelopes.
@@ -94,8 +95,8 @@ def _spec(**kw) -> ExperimentSpec:
 _SMOKE = CertificationTier(
     name="smoke",
     description=(
-        "CI tier: Tables 1/2/3/8 at reduced trials, seed-pinned; "
-        "~1 minute on one core"
+        "CI tier: Tables 1/2/3/8 plus the derived peeling-threshold "
+        "cells at reduced trials, seed-pinned; ~1 minute on one core"
     ),
     runs=(
         TableRun("table1", "d3", _spec(n=2**14, d=3, trials=25, seed=101)),
@@ -108,6 +109,10 @@ _SMOKE = CertificationTier(
             "table8", "lam0.9",
             _spec(n=512, sim_time=400.0, burn_in=80.0, seed=108),
             extras={"lambdas": (0.9,), "d_values": (3, 4)},
+        ),
+        TableRun(
+            "peeling", "d3", _spec(n=2**11, d=3, trials=12, seed=109),
+            extras={"threshold_tol": 0.04, "core_gap_tol": 0.02},
         ),
     ),
     anchor_z=6.0,
@@ -152,6 +157,10 @@ _STANDARD = CertificationTier(
             "table8", "all",
             _spec(n=2**10, sim_time=2000.0, burn_in=200.0, seed=108),
             extras={"lambdas": (0.9, 0.99), "d_values": (3, 4)},
+        ),
+        TableRun(
+            "peeling", "d3", _spec(n=2**13, d=3, trials=24, seed=109),
+            extras={"threshold_tol": 0.035, "core_gap_tol": 0.02},
         ),
     ),
     anchor_z=5.0,
@@ -209,6 +218,16 @@ _FULL = CertificationTier(
             "table8", "all",
             _spec(n=2**14, sim_time=10000.0, burn_in=1000.0, seed=108),
             extras={"lambdas": (0.9, 0.99), "d_values": (3, 4)},
+        ),
+        TableRun(
+            "peeling", "d3", _spec(n=2**14, d=3, trials=100, seed=109),
+            extras={
+                "densities": (
+                    0.70, 0.74, 0.78, 0.80, 0.82, 0.84, 0.86, 0.90,
+                ),
+                "threshold_tol": 0.03,
+                "core_gap_tol": 0.02,
+            },
         ),
     ),
     anchor_z=4.0,

@@ -14,6 +14,9 @@ Commands
   (:mod:`repro.service`) and print throughput + tail-load SLOs, e.g.
   ``python -m repro serve --scheme tabulation --keys 5e6 --churn 0.5``;
 - ``fluid`` — print fluid-limit tail fractions for a given d and T;
+- ``peeling`` — peeling threshold sweep (``--backend`` picks the kernel);
+- ``reconcile`` — two-party IBLT set reconciliation: build, subtract,
+  peel the delta, double-hashed vs fully-random cells;
 - ``list`` — list available commands.
 
 The CLI is a thin veneer over :mod:`repro.experiments`; everything it
@@ -237,6 +240,34 @@ def build_parser() -> argparse.ArgumentParser:
     peeling.add_argument("--d", type=int, default=3)
     peeling.add_argument("--trials", type=int, default=8)
     peeling.add_argument("--seed", type=int, default=1)
+    peeling.add_argument(
+        "--backend", choices=["numpy", "numba"], default=None,
+        help="peeling-kernel backend (default: REPRO_BACKEND, then auto)",
+    )
+
+    reconcile = sub.add_parser(
+        "reconcile",
+        help="two-party IBLT set reconciliation (peel the difference)",
+    )
+    reconcile.add_argument(
+        "--items", type=float, default=1e6,
+        help="items per party (accepts 1e6-style floats)",
+    )
+    reconcile.add_argument(
+        "--diff", type=float, default=1e3,
+        help="symmetric-difference size (the delta to recover)",
+    )
+    reconcile.add_argument("--d", type=int, default=3, help="cells per key")
+    reconcile.add_argument(
+        "--mode", choices=["double", "random", "both"], default="both",
+        help="cell-selection mode ('both' runs the comparison)",
+    )
+    reconcile.add_argument(
+        "--cells", type=int, default=None,
+        help="IBLT cells (default: sized from --diff via the peeling "
+             "threshold)",
+    )
+    reconcile.add_argument("--seed", type=int, default=1)
 
     certify = sub.add_parser(
         "certify",
@@ -403,7 +434,7 @@ def _run_peeling(args) -> int:
 
     exp = threshold_experiment(
         args.n, args.d, [0.70, 0.78, 0.86, 0.94],
-        trials=args.trials, seed=args.seed,
+        trials=args.trials, seed=args.seed, backend=args.backend,
     )
     print(f"asymptotic threshold c*({args.d}) = "
           f"{exp.asymptotic_threshold:.5f}")
@@ -415,6 +446,34 @@ def _run_peeling(args) -> int:
               f"{exp.core_fraction_random[i]:>10.4f} "
               f"{exp.core_fraction_double[i]:>9.4f}")
     return 0
+
+
+def _run_reconcile(args) -> int:
+    from repro.extensions.reconcile import run_reconciliation
+
+    modes = ["double", "random"] if args.mode == "both" else [args.mode]
+    n_items = int(args.items)
+    n_diff = int(args.diff)
+    failures = 0
+    for mode in modes:
+        r = run_reconciliation(
+            n_items, n_diff, d=args.d, mode=mode,
+            cells=args.cells, seed=args.seed,
+        )
+        verdict = "recovered" if r.success else (
+            f"INCOMPLETE (missed={r.missed} spurious={r.spurious} "
+            f"residue={r.residue_cells})"
+        )
+        print(f"[{mode:>6}] items={r.n_items:,} diff={r.n_diff:,} "
+              f"cells={r.cells:,} d={r.d}: {verdict}")
+        print(f"         delta |A\\B|={r.only_in_a.size} "
+              f"|B\\A|={r.only_in_b.size} in {r.rounds} rounds")
+        print(f"         build {r.build_seconds:.3f}s "
+              f"({r.n_items / max(r.build_seconds, 1e-9):,.0f} items/s), "
+              f"subtract+peel {r.reconcile_seconds:.3f}s "
+              f"({r.delta_per_second:,.0f} delta keys/s)")
+        failures += not r.success
+    return 1 if failures else 0
 
 
 def _run_certify(args) -> int:
@@ -459,7 +518,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "list":
         print("commands: " + " ".join(sorted(_TABLE_COMMANDS) +
                                       ["certify", "compare", "fluid", "list",
-                                       "peeling", "serve", "validate", "zoo"]))
+                                       "peeling", "reconcile", "serve",
+                                       "validate", "zoo"]))
         return 0
     if args.command == "serve":
         return _run_serve(args)
@@ -469,6 +529,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_zoo(args)
     if args.command == "peeling":
         return _run_peeling(args)
+    if args.command == "reconcile":
+        return _run_reconcile(args)
     if args.command == "validate":
         from repro.validation import run_validation
 

@@ -16,25 +16,40 @@ probing).  This package implements all three so the claim can be exercised:
 - :mod:`repro.extensions.open_addressing` — open-addressed table with
   double-hashing vs. random and linear probing; unsuccessful-search cost
   against the 1/(1−α) law.
+
+Plus the IBLT application layer: :mod:`repro.extensions.iblt` (batched
+invertible Bloom lookup table, whose listing is the peeling kernel's
+workload) and :mod:`repro.extensions.reconcile` (two-party set
+reconciliation over a symmetric-difference IBLT).
 """
 
 from repro.extensions.bloom import BloomFilter, theoretical_fpr
 from repro.extensions.cuckoo import CuckooTable
 from repro.extensions.cuckoo_filter import CuckooFilter
 from repro.extensions.dleft_table import DLeftHashTable
-from repro.extensions.iblt import IBLT
+from repro.extensions.iblt import BatchListResult, IBLT, ListResult
 from repro.extensions.open_addressing import (
     OpenAddressTable,
     expected_unsuccessful_probes,
 )
+from repro.extensions.reconcile import (
+    ReconcileResult,
+    reconcile,
+    run_reconciliation,
+)
 
 __all__ = [
+    "BatchListResult",
     "BloomFilter",
     "CuckooFilter",
     "CuckooTable",
     "DLeftHashTable",
     "IBLT",
+    "ListResult",
     "OpenAddressTable",
+    "ReconcileResult",
     "expected_unsuccessful_probes",
+    "reconcile",
+    "run_reconciliation",
     "theoretical_fpr",
 ]

@@ -31,6 +31,15 @@ backends (blocked numpy loop in :mod:`repro.kernels.supermarket`, JIT in
 :mod:`repro.kernels.numba_supermarket`) are bit-identical to the oracle
 :func:`repro.kernels.reference.simulate_supermarket_reference` under the
 draw-stream contract documented in :mod:`repro.kernels.supermarket`.
+
+And the peeling path: 2-core computation on the key-cell hypergraph
+(IBLT listing, the peeling-threshold experiments) runs through
+:func:`run_peeling_kernel`, whose backends (vectorized worklist loop in
+:mod:`repro.kernels.peeling`, JIT in :mod:`repro.kernels.numba_peeling`)
+are exactly equivalent — success flag, peel order, core-edge set, and
+round count — to the oracle :func:`repro.peeling.decoder.peel_reference`
+under the synchronous-round contract documented in
+:mod:`repro.kernels.peeling`.
 """
 
 from __future__ import annotations
@@ -39,9 +48,10 @@ import os
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.hashing.base import ChoiceScheme
 from repro.kernels import numba_backend as _numba_mod
+from repro.kernels import numba_peeling as _numba_peel
 from repro.kernels import numba_supermarket as _numba_sm
 from repro.kernels.generate import (
     KEY_SHIFT,
@@ -50,6 +60,12 @@ from repro.kernels.generate import (
     plan_layout,
 )
 from repro.kernels.numpy_backend import NumpyBackend, choose_window
+from repro.kernels.peeling import (
+    PeelOutcome,
+    build_accumulators,
+    peel_arrays_numpy,
+    validate_edges,
+)
 from repro.kernels.parallel_trials import (
     default_shards,
     fused_parallel_supported,
@@ -75,6 +91,7 @@ __all__ = [
     "DEFAULT_BLOCK",
     "KEY_SHIFT",
     "KernelLayout",
+    "PeelOutcome",
     "available_backends",
     "check_queue_packing",
     "choose_window",
@@ -86,6 +103,7 @@ __all__ = [
     "plan_layout",
     "resolve_backend",
     "run_parallel_trials",
+    "run_peeling_kernel",
     "run_placement_kernel",
     "run_supermarket_kernel",
     "sequential_packed_reference",
@@ -274,6 +292,69 @@ def run_placement_kernel(
     registry.increment("kernel.balls_placed", trials * steps)
     registry.increment(f"kernel.calls.{impl.name}", 1)
     return loads
+
+
+def run_peeling_kernel(
+    edges: np.ndarray,
+    n_vertices: int,
+    *,
+    backend: str | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> PeelOutcome:
+    """Peel an ``(m, d)`` edge array to its 2-core through a kernel backend.
+
+    The peeling face of the kernel subsystem:
+    :func:`repro.peeling.decoder.peel` and the batched IBLT lister drive
+    this function.  Backend selection follows the standard order
+    (explicit ``backend`` > ``REPRO_BACKEND`` env > auto), and every
+    backend is exactly equivalent — success flag, peel order, core-edge
+    set, round count — to :func:`repro.peeling.decoder.peel_reference`
+    under the synchronous-round contract documented in
+    :mod:`repro.kernels.peeling`.
+
+    Parameters
+    ----------
+    edges:
+        ``(m, d)`` integer array of vertex ids in ``[0, n_vertices)``;
+        vertices may repeat within an edge (multiplicity-aware
+        semantics, see the contract).
+    n_vertices:
+        Vertex-space size (IBLT cell count / hypergraph vertex count).
+    backend:
+        Kernel-backend name (``"numpy"`` / ``"numba"``), or None for
+        env/auto resolution.
+    metrics:
+        Registry receiving the kernel timer/counters (global by default).
+
+    Returns
+    -------
+    PeelOutcome
+        ``(success, peeled_order, core_edges, rounds)``.
+    """
+    edges = validate_edges(edges, n_vertices)
+    impl = resolve_backend(backend, metrics=metrics)
+    registry = metrics if metrics is not None else kernel_metrics()
+    with registry.timer("kernel.peel_seconds"):
+        if impl.name == "numba" and edges.shape[0]:
+            degree, edge_xor = build_accumulators(edges, n_vertices)
+            n_peeled, order, alive, rounds, status = (
+                _numba_peel.peel_arrays_numba(edges, degree, edge_xor)
+            )
+            if status != _numba_peel.PEEL_OK:
+                raise SimulationError(
+                    "peeling invariant violated: a degree-1 vertex claimed "
+                    "a dead or out-of-range edge (numba backend, status "
+                    f"{status})"
+                )
+            core = np.flatnonzero(~alive)
+            outcome = PeelOutcome(
+                core.size == 0, order[:n_peeled].copy(), core, rounds
+            )
+        else:
+            outcome = peel_arrays_numpy(edges, n_vertices)
+    registry.increment("kernel.edges_peeled", int(outcome.peeled_order.size))
+    registry.increment(f"kernel.calls.{impl.name}", 1)
+    return outcome
 
 
 def run_supermarket_kernel(

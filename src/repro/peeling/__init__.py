@@ -14,8 +14,10 @@ This subpackage provides:
 - :mod:`repro.peeling.hypergraph` — hypergraph construction directly from
   any :class:`~repro.hashing.base.ChoiceScheme` (the same objects the
   balls-and-bins engines use);
-- :mod:`repro.peeling.decoder` — an O(m·d) queue-based peeling decoder
-  returning the 2-core and the peeling order;
+- :mod:`repro.peeling.decoder` — the peeling decoder: ``peel`` (batched
+  flat-array kernel via :func:`repro.kernels.run_peeling_kernel`, numpy
+  or numba backends) and ``peel_reference`` (the slow executable
+  specification), exactly equivalent on every observable;
 - :mod:`repro.peeling.density_evolution` — the fluid limit of peeling:
   the survival recursion ``β ← (1 − e^{−c·d·β})^{d−1}``, numeric threshold
   solver (reproducing the known literature thresholds — the
@@ -26,7 +28,7 @@ This subpackage provides:
   double-hashed edges.
 """
 
-from repro.peeling.decoder import PeelResult, peel
+from repro.peeling.decoder import PeelResult, peel, peel_reference
 from repro.peeling.density_evolution import (
     core_edge_fraction,
     peeling_threshold,
@@ -40,6 +42,7 @@ __all__ = [
     "build_hypergraph",
     "core_edge_fraction",
     "peel",
+    "peel_reference",
     "peeling_threshold",
     "survival_fixed_point",
     "threshold_experiment",

@@ -90,6 +90,7 @@ def threshold_experiment(
     trials: int,
     *,
     seed: int | None = None,
+    backend: str | None = None,
 ) -> ThresholdExperiment:
     """Sweep densities; measure peeling success for both schemes.
 
@@ -103,6 +104,12 @@ def threshold_experiment(
         Edge densities ``c = m/n`` to test, ascending.
     trials:
         Hypergraphs per (density, scheme) cell.
+    seed:
+        Seed for hypergraph construction (one stream across the sweep).
+    backend:
+        Peeling-kernel backend (``"numpy"`` / ``"numba"``), or None for
+        env/auto resolution; results are backend-independent by the
+        kernel equivalence contract.
     """
     if trials < 1:
         raise ConfigurationError(f"trials must be positive, got {trials}")
@@ -123,7 +130,7 @@ def threshold_experiment(
             fracs = 0.0
             for _ in range(trials):
                 graph = build_hypergraph(scheme, m, seed=rng)
-                result = peel(graph)
+                result = peel(graph, backend=backend)
                 wins += result.success
                 fracs += result.core_fraction
             success[name][i] = wins / trials

@@ -25,10 +25,12 @@ class TestTierShape:
             assert run.table in _CERTIFIERS, run.table
 
     def test_smoke_covers_the_gate_tables(self):
-        assert set(tier("smoke").tables) == {"table1", "table2", "table3", "table8"}
+        assert set(tier("smoke").tables) == {
+            "table1", "table2", "table3", "table8", "peeling",
+        }
 
     def test_standard_and_full_cover_all_tables(self):
-        expected = {f"table{k}" for k in range(1, 9)}
+        expected = {f"table{k}" for k in range(1, 9)} | {"peeling"}
         assert set(tier("standard").tables) == expected
         assert set(tier("full").tables) == expected
 

@@ -69,11 +69,22 @@ class TestExecution:
         threshold = anchor_value("derived/peeling-threshold/d3")
         assert f"{threshold:.5f}" in out
 
+    def test_peeling_backend_knob(self, capsys):
+        assert main(["peeling", "--n", "256", "--trials", "2",
+                     "--backend", "numpy"]) == 0
+
+    def test_reconcile_small(self, capsys):
+        assert main(["reconcile", "--items", "2e3", "--diff", "20",
+                     "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "double" in out and "random" in out
+        assert "items/s" in out
+
     def test_list_mentions_new_commands(self, capsys):
         main(["list"])
         out = capsys.readouterr().out
         assert "zoo" in out and "peeling" in out and "validate" in out
-        assert "serve" in out
+        assert "serve" in out and "reconcile" in out
 
     def test_compare_with_scheme(self, capsys):
         assert main(["compare", "--n", "256", "--d", "2", "--trials", "5",

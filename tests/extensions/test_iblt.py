@@ -121,3 +121,135 @@ class TestLoadEstimate:
         # 25 entries over 100 cells; duplicated cells within a key can
         # reduce the count mass slightly in random mode.
         assert t.load == pytest.approx(0.25, abs=0.02)
+
+
+def _same_cellset_pair(table: IBLT, limit: int = 50000) -> tuple[int, int]:
+    """Two keys whose d cells coincide exactly (double-mode collision)."""
+    keys = np.arange(limit, dtype=np.int64)
+    rows = np.sort(table.cells_batch(keys), axis=1)
+    _, first, inverse, counts = np.unique(
+        rows, axis=0, return_index=True, return_inverse=True,
+        return_counts=True,
+    )
+    dup = np.flatnonzero(counts > 1)
+    if dup.size == 0:  # pragma: no cover - seed chosen so this never trips
+        pytest.skip("no duplicate cell-set pair in search range")
+    members = np.flatnonzero(inverse == dup[0])
+    return int(keys[members[0]]), int(keys[members[1]])
+
+
+class TestResidueRegression:
+    def test_cancelled_count_cell_is_counted(self):
+        """Regression: residue must count cells with count 0 but keySum ≠ 0.
+
+        Insert one key and delete another with the *same* cell set: every
+        touched cell ends at count 0 with key_sum = k1 XOR k2 ≠ 0.  The
+        short-circuiting scalar residue check this replaces reported 0
+        here, hiding a stuck (and provably nonempty) table.
+        """
+        t = IBLT(64, 3, mode="double", seed=12)
+        k1, k2 = _same_cellset_pair(t)
+        t.insert(k1, 10)
+        t.delete(k2, 20)
+        assert np.count_nonzero(t.count) == 0
+        assert not t.is_empty
+        result = t.list_entries()
+        assert not result.complete
+        assert result.entries == []
+        assert result.residue_cells == 3
+        assert result.residue_cells == int(
+            np.count_nonzero((t.count != 0) | (t.key_sum != 0))
+        )
+
+    def test_batched_lister_reports_same_residue(self):
+        t1 = IBLT(64, 3, mode="double", seed=12)
+        t2 = IBLT(64, 3, mode="double", seed=12)
+        k1, k2 = _same_cellset_pair(t1)
+        for t in (t1, t2):
+            t.insert(k1, 10)
+            t.delete(k2, 20)
+        scalar = t1.list_entries()
+        batched = t2.list_entries_batched()
+        assert not batched.complete
+        assert batched.residue_cells == scalar.residue_cells == 3
+
+
+class TestBatchedAPI:
+    @pytest.mark.parametrize("mode", ["double", "random"])
+    def test_insert_many_matches_scalar_loop(self, mode):
+        keys = np.arange(3000, 3200, dtype=np.int64)
+        values = keys * 5
+        batched = IBLT(512, 3, mode=mode, seed=13)
+        scalar = IBLT(512, 3, mode=mode, seed=13)
+        batched.insert_many(keys, values)
+        for k, v in zip(keys, values):
+            scalar.insert(int(k), int(v))
+        assert np.array_equal(batched.count, scalar.count)
+        assert np.array_equal(batched.key_sum, scalar.key_sum)
+        assert np.array_equal(batched.check_sum, scalar.check_sum)
+        assert np.array_equal(batched.value_sum, scalar.value_sum)
+
+    @pytest.mark.parametrize("mode", ["double", "random"])
+    def test_batched_listing_matches_scalar(self, mode):
+        keys = np.arange(9000, 9150, dtype=np.int64)
+        values = keys * 11
+        t_scalar = IBLT(512, 3, mode=mode, seed=14)
+        t_batched = IBLT(512, 3, mode=mode, seed=14)
+        t_scalar.insert_many(keys, values)
+        t_batched.insert_many(keys, values)
+        scalar = t_scalar.list_entries()
+        batched = t_batched.list_entries_batched()
+        assert batched.complete == scalar.complete
+        assert sorted(batched.entries) == sorted(scalar.entries)
+        assert batched.residue_cells == scalar.residue_cells
+
+    def test_batched_set_difference_with_negative_counts(self):
+        """Subtract two tables; peel the delta with sign recovery."""
+        shared = np.arange(10**4, dtype=np.int64) * 3 + 7
+        a_only = np.array([10**6 + 1, 10**6 + 2], dtype=np.int64)
+        b_only = np.array([2 * 10**6 + 5], dtype=np.int64)
+        ta = IBLT(128, 3, seed=15)
+        tb = IBLT(128, 3, seed=15)
+        ta.insert_many(np.concatenate([shared, a_only]),
+                       np.concatenate([shared, a_only]) * 2)
+        tb.insert_many(np.concatenate([shared, b_only]),
+                       np.concatenate([shared, b_only]) * 2)
+        diff = ta.subtract(tb)
+        assert not ta.is_empty and not tb.is_empty  # inputs untouched
+        listing = diff.list_entries_batched()
+        assert listing.complete
+        assert sorted(listing.keys[listing.signs > 0]) == sorted(a_only)
+        assert sorted(listing.keys[listing.signs < 0]) == sorted(b_only)
+        assert np.array_equal(listing.values[listing.signs > 0],
+                              np.sort(a_only) * 2)
+
+    def test_subtract_requires_matching_fingerprint(self):
+        ta = IBLT(128, 3, seed=16)
+        tb = IBLT(128, 3, seed=17)
+        with pytest.raises(ConfigurationError):
+            ta.subtract(tb)
+
+    def test_batch_validation(self):
+        t = IBLT(64, 3, seed=18, key_bits=16, capacity=10)
+        with pytest.raises(ConfigurationError):
+            t.insert_many(np.array([1 << 20]), np.array([1]))  # key too wide
+        with pytest.raises(ConfigurationError):
+            t.insert_many(np.array([1]), np.array([-1]))  # negative value
+        with pytest.raises(ConfigurationError):
+            t.insert_many(np.array([1, 2]), np.array([1]))  # length mismatch
+        with pytest.raises(ConfigurationError):
+            t.insert_many(np.arange(11), np.arange(11))  # over capacity
+
+
+class TestWidthNegotiation:
+    def test_small_capacity_gets_int32_counts(self):
+        t = IBLT(64, 3, seed=19, capacity=1000)
+        assert t.count.dtype == np.int32
+
+    def test_huge_capacity_gets_int64_counts(self):
+        t = IBLT(64, 3, seed=20, capacity=(1 << 40))
+        assert t.count.dtype == np.int64
+
+    def test_overwide_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IBLT(64, 3, seed=21, key_bits=64)

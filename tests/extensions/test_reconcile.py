@@ -1,0 +1,111 @@
+"""Tests for the two-party set-reconciliation driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.extensions.iblt import IBLT
+from repro.extensions.reconcile import (
+    default_cells,
+    make_parties,
+    reconcile,
+    run_reconciliation,
+)
+
+
+class TestMakeParties:
+    def test_shapes_and_split(self):
+        keys_a, keys_b, a_only, b_only = make_parties(1000, 7, seed=1)
+        assert keys_a.size == 1000
+        assert keys_b.size == 999  # odd delta: equal sizes are impossible
+        assert a_only.size == 4 and b_only.size == 3  # A gets the larger half
+        keys_a, keys_b, _, _ = make_parties(1000, 8, seed=1)
+        assert keys_a.size == keys_b.size == 1000
+
+    def test_planted_delta_is_the_symmetric_difference(self):
+        keys_a, keys_b, a_only, b_only = make_parties(500, 10, seed=2)
+        sa, sb = set(keys_a.tolist()), set(keys_b.tolist())
+        assert sa - sb == set(a_only.tolist())
+        assert sb - sa == set(b_only.tolist())
+        assert len(sa) == len(sb) == 500  # all keys distinct
+
+    def test_zero_delta(self):
+        keys_a, keys_b, a_only, b_only = make_parties(100, 0, seed=3)
+        assert np.array_equal(np.sort(keys_a), np.sort(keys_b))
+        assert a_only.size == b_only.size == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_parties(0, 0)
+        with pytest.raises(ConfigurationError):
+            make_parties(3, 100)
+
+
+class TestDefaultCells:
+    def test_power_of_two_and_floor(self):
+        assert default_cells(0, 3) == 64
+        cells = default_cells(1000, 3)
+        assert cells & (cells - 1) == 0
+        # Must exceed the density-evolution minimum |delta| / c*_3.
+        assert cells > 1000 / 0.8185
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            default_cells(-1, 3)
+
+
+class TestReconcile:
+    @pytest.mark.parametrize("mode", ["double", "random"])
+    def test_round_trip_recovers_planted_delta(self, mode):
+        res = run_reconciliation(5000, 40, mode=mode, seed=4)
+        assert res.success
+        assert res.missed == 0 and res.spurious == 0
+        assert res.residue_cells == 0
+        assert res.only_in_a.size == 20 and res.only_in_b.size == 20
+        assert res.mode == mode
+
+    def test_recovered_keys_match_planted(self):
+        _, _, a_only, b_only = make_parties(5000, 40, seed=4)
+        res = run_reconciliation(5000, 40, seed=4)
+        assert np.array_equal(res.only_in_a, a_only)
+        assert np.array_equal(res.only_in_b, b_only)
+
+    def test_deterministic_under_seed(self):
+        r1 = run_reconciliation(2000, 16, seed=5)
+        r2 = run_reconciliation(2000, 16, seed=5)
+        assert np.array_equal(r1.only_in_a, r2.only_in_a)
+        assert np.array_equal(r1.only_in_b, r2.only_in_b)
+        assert r1.rounds == r2.rounds
+
+    def test_table_sized_by_delta_not_set_size(self):
+        res = run_reconciliation(20000, 10, seed=6)
+        assert res.success
+        assert res.cells == default_cells(10, 3)
+        assert res.cells < 200  # tiny table despite 20k items
+
+    def test_undersized_table_reports_failure(self):
+        # Far above threshold: the delta's hypergraph keeps a giant core.
+        res = run_reconciliation(2000, 500, cells=64, seed=7)
+        assert not res.success
+        assert res.missed > 0
+        assert res.residue_cells > 0
+
+    def test_reconcile_preserves_inputs(self):
+        ta = IBLT(256, 3, seed=8)
+        tb = IBLT(256, 3, seed=8)
+        ta.insert_many(np.arange(50), np.arange(50))
+        tb.insert_many(np.arange(10, 60), np.arange(10, 60))
+        before_a, before_b = ta.count.copy(), tb.count.copy()
+        only_a, only_b, residue, rounds = reconcile(ta, tb)
+        assert np.array_equal(ta.count, before_a)
+        assert np.array_equal(tb.count, before_b)
+        assert residue == 0 and rounds >= 1
+        assert np.array_equal(only_a, np.arange(10))
+        assert np.array_equal(only_b, np.arange(50, 60))
+
+    def test_throughput_properties(self):
+        res = run_reconciliation(1000, 8, seed=9)
+        assert res.items_per_second > 0
+        assert res.delta_per_second > 0
