@@ -54,7 +54,7 @@ from repro.fluid import (
     solve_dleft,
     solve_heavy_load,
 )
-from repro.hashing import DoubleHashingChoices, FullyRandomChoices
+from repro.hashing import DoubleHashingChoices, FullyRandomChoices, make_scheme
 from repro.kernels import resolve_backend
 from repro.metrics import MetricsRegistry
 from repro.peeling import peeling_threshold, threshold_experiment
@@ -655,6 +655,50 @@ def _certify_peeling(run, tier, metrics, progress):
     return checks, spec
 
 
+def _certify_schemes(run, tier, metrics, progress):
+    """Hash-family zoo: keyed schemes vs the fully-random baseline.
+
+    The empirical equivalence map behind ``docs/hash-families.md``: each
+    scheme named in ``extras["schemes"]`` runs through the fused
+    placement kernel (via its :class:`~repro.hashing.keyed.KeyedStreamScheme`
+    wrapper) on the run's geometry and is compared to one shared
+    fully-random baseline with
+
+    - a chi-square homogeneity test on the load law, joining the
+      tier-wide Holm family (kind ``equivalence``), and
+    - overlapping bootstrap CIs on per-trial max loads (kind
+      ``bootstrap``).
+
+    Seed convention extends the ``(s, s+1)`` pair: the baseline runs at
+    ``s``, the ``k``-th challenger at ``s + 1 + k`` (which also seeds
+    its hash-parameter draws).
+    """
+    spec = run.spec
+    schemes = tuple(run.extras.get("schemes", ("tabulation", "pairwise")))
+    res_base = run_experiment(
+        FullyRandomChoices(spec.n, spec.d), spec,
+        metrics=metrics, progress=progress,
+    )
+    checks = []
+    for k, name in enumerate(schemes):
+        seed_k = None if spec.seed is None else spec.seed + 1 + k
+        challenger = make_scheme(name, spec.n, spec.d, seed=seed_k)
+        res_s = run_experiment(
+            challenger, spec.replace(seed=seed_k),
+            metrics=metrics, progress=progress,
+        )
+        checks.append(_equivalence_check(
+            run, res_base.distribution, res_s.distribution, label=name,
+        ))
+        checks.append(_bootstrap_check(
+            TableRun(run.table, f"{run.variant}-{name}", spec),
+            res_base.distribution.max_load_per_trial,
+            res_s.distribution.max_load_per_trial,
+            seed=(seed_k or 0),
+        ))
+    return checks, spec
+
+
 _CERTIFIERS = {
     "table1": _certify_load_fraction_table,
     "table2": _certify_table2,
@@ -665,6 +709,7 @@ _CERTIFIERS = {
     "table7": _certify_table7,
     "table8": _certify_table8,
     "peeling": _certify_peeling,
+    "schemes": _certify_schemes,
 }
 
 

@@ -7,15 +7,16 @@ Three tiers ship:
 
 ``smoke``
     Minutes-scale, wired into CI.  Covers Tables 1, 2, 3 and 8 plus the
-    derived peeling-threshold cells at reduced trial counts with
-    generous (but documented) envelopes.
+    derived peeling-threshold cells and the hash-family-zoo scheme
+    sweep (``schemes`` runs; see ``docs/hash-families.md``) at reduced
+    trial counts with generous (but documented) envelopes.
 ``standard``
     The EXPERIMENTS.md reproduction scale — every table, tens of
     minutes, tighter envelopes.
 ``full``
     Paper scale (10^4 trials, n up to 2^18, 10^4-second queueing
-    horizons).  Overnight; the envelopes approach the paper's printed
-    precision.
+    horizons; scheme sweeps up to n = 2^24).  Overnight; the envelopes
+    approach the paper's printed precision.
 
 Threshold semantics (see ``docs/certification.md`` for derivations):
 
@@ -96,7 +97,8 @@ _SMOKE = CertificationTier(
     name="smoke",
     description=(
         "CI tier: Tables 1/2/3/8 plus the derived peeling-threshold "
-        "cells at reduced trials, seed-pinned; ~1 minute on one core"
+        "and hash-family-zoo cells at reduced trials, seed-pinned; "
+        "~1 minute on one core"
     ),
     runs=(
         TableRun("table1", "d3", _spec(n=2**14, d=3, trials=25, seed=101)),
@@ -113,6 +115,10 @@ _SMOKE = CertificationTier(
         TableRun(
             "peeling", "d3", _spec(n=2**11, d=3, trials=12, seed=109),
             extras={"threshold_tol": 0.04, "core_gap_tol": 0.02},
+        ),
+        TableRun(
+            "schemes", "n14-d3", _spec(n=2**14, d=3, trials=20, seed=141),
+            extras={"schemes": ("tabulation", "pairwise")},
         ),
     ),
     anchor_z=6.0,
@@ -161,6 +167,13 @@ _STANDARD = CertificationTier(
         TableRun(
             "peeling", "d3", _spec(n=2**13, d=3, trials=24, seed=109),
             extras={"threshold_tol": 0.035, "core_gap_tol": 0.02},
+        ),
+        TableRun(
+            "schemes", "n16-d3", _spec(n=2**16, d=3, trials=50, seed=141),
+            extras={"schemes": (
+                "multiply-shift", "tabulation", "tabulation-double",
+                "pairwise", "pairwise-double",
+            )},
         ),
     ),
     anchor_z=5.0,
@@ -228,6 +241,17 @@ _FULL = CertificationTier(
                 "threshold_tol": 0.03,
                 "core_gap_tol": 0.02,
             },
+        ),
+        TableRun(
+            "schemes", "n20-d3", _spec(n=2**20, d=3, trials=100, seed=141),
+            extras={"schemes": (
+                "multiply-shift", "tabulation", "tabulation-double",
+                "pairwise", "pairwise-double",
+            )},
+        ),
+        TableRun(
+            "schemes", "n24-d3", _spec(n=2**24, d=3, trials=10, seed=151),
+            extras={"schemes": ("tabulation", "pairwise")},
         ),
     ),
     anchor_z=4.0,

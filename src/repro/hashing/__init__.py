@@ -34,6 +34,7 @@ from repro.hashing.double_hashing import DoubleHashingChoices
 from repro.hashing.fully_random import FullyRandomChoices
 from repro.hashing.hash_functions import (
     MultiplyShiftHash,
+    PairwiseAffineHash,
     TabulationHash,
     UniversalModPrimeHash,
 )
@@ -51,15 +52,19 @@ from repro.hashing.partitioned import (
     PartitionedFullyRandom,
 )
 from repro.hashing.registry import (
+    SCHEME_INFO,
+    SchemeInfo,
     keyed_scheme_names,
     make_keyed_scheme,
     make_scheme,
     resolve_scheme_name,
+    scheme_info,
     scheme_names,
 )
 
 __all__ = [
     "HASH_FAMILIES",
+    "SCHEME_INFO",
     "BlockChoices",
     "ChoiceScheme",
     "DoubleHashedKeyed",
@@ -69,8 +74,10 @@ __all__ = [
     "KeyedChoices",
     "KeyedStreamScheme",
     "MultiplyShiftHash",
+    "PairwiseAffineHash",
     "PartitionedDoubleHashing",
     "PartitionedFullyRandom",
+    "SchemeInfo",
     "TabulationHash",
     "UniversalModPrimeHash",
     "empirical_pairwise_stats",
@@ -80,5 +87,6 @@ __all__ = [
     "make_keyed_scheme",
     "make_scheme",
     "resolve_scheme_name",
+    "scheme_info",
     "scheme_names",
 ]

@@ -58,16 +58,18 @@ class BlockChoices(ChoiceScheme):
 
     @property
     def distinct(self) -> bool:
-        # The two blocks may overlap.
+        """False: the two random blocks may overlap."""
         return False
 
     def batch(self, trials: int, rng: np.random.Generator) -> np.ndarray:
+        """Two random contiguous blocks of ``block`` bins per trial row."""
         starts = rng.integers(0, self.n_bins, size=(trials, 2), dtype=np.int64)
         left = (starts[:, :1] + self._offsets) % self.n_bins
         right = (starts[:, 1:] + self._offsets) % self.n_bins
         return np.concatenate([left, right], axis=1)
 
     def describe(self) -> str:
+        """Short human-readable label including the geometry."""
         return (
             f"kp-blocks(n_bins={self.n_bins}, d={self.d}, "
             f"block={self.block})"

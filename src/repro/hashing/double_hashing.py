@@ -55,9 +55,11 @@ class DoubleHashingChoices(ChoiceScheme):
 
     @property
     def distinct(self) -> bool:
+        """True: the stride is a unit, so the ``d`` probes never collide."""
         return True
 
     def batch(self, trials: int, rng: np.random.Generator) -> np.ndarray:
+        """Arithmetic progressions ``(f + k·g) mod n`` with unit strides."""
         n = self.n_bins
         if n == 1:
             return np.zeros((trials, self.d), dtype=np.int64)
@@ -113,4 +115,5 @@ class DoubleHashingChoices(ChoiceScheme):
         return choices, f, g
 
     def describe(self) -> str:
+        """Short human-readable label including the geometry."""
         return f"double-hashing(n_bins={self.n_bins}, d={self.d})"

@@ -37,9 +37,11 @@ class FullyRandomChoices(ChoiceScheme):
 
     @property
     def distinct(self) -> bool:
+        """True only in without-replacement mode (duplicates rejected)."""
         return not self.replacement
 
     def batch(self, trials: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniform ``(trials, d)`` rows, rejection-resampled if distinct."""
         choices = rng.integers(0, self.n_bins, size=(trials, self.d), dtype=np.int64)
         if self.replacement or self.d == 1:
             return choices
@@ -72,6 +74,7 @@ class FullyRandomChoices(ChoiceScheme):
         return idx if local or idx.size else idx
 
     def describe(self) -> str:
+        """Short human-readable label including mode and geometry."""
         mode = "with" if self.replacement else "without"
         return (
             f"fully-random({mode} replacement, n_bins={self.n_bins}, d={self.d})"

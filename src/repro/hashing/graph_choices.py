@@ -68,6 +68,7 @@ class GraphChoices(ChoiceScheme):
 
     @property
     def distinct(self) -> bool:
+        """True: edges are drawn with distinct endpoints."""
         return True
 
     @property
@@ -76,10 +77,12 @@ class GraphChoices(ChoiceScheme):
         return 2.0 * self.n_edges / self.n_bins
 
     def batch(self, trials: int, rng: np.random.Generator) -> np.ndarray:
+        """One uniformly sampled edge (pair of bins) per trial row."""
         picks = rng.integers(0, self.n_edges, size=trials, dtype=np.int64)
         return self.edges[picks]
 
     def describe(self) -> str:
+        """Short human-readable label including edge count and degree."""
         return (
             f"graph-choices(n_bins={self.n_bins}, edges={self.n_edges}, "
             f"mean_degree={self.mean_degree:.1f})"

@@ -6,14 +6,26 @@ addressing) hash *keys*: the same key must always map to the same choices.
 These families provide that, each with the standard universality guarantee:
 
 - :class:`UniversalModPrimeHash` — Carter–Wegman ``((a·x + b) mod p) mod n``,
-  2-universal;
+  2-universal (Carter–Wegman, JCSS 1979);
+- :class:`PairwiseAffineHash` — the same degree-1 construction over the
+  Mersenne prime ``2^61 - 1``, exactly pairwise independent with a
+  division-free reduction — the minimal guarantee the paper's closing
+  remark identifies as sufficient for double-hashing equivalence;
 - :class:`MultiplyShiftHash` — Dietzfelbinger's multiply-shift for
-  power-of-two ranges, 2-universal (up to a factor 2);
-- :class:`TabulationHash` — Patrascu–Thorup simple tabulation,
-  3-independent and "behaves like full randomness" for many applications
-  (cited as related work in the paper).
+  power-of-two ranges, 2-universal (up to a factor 2; Dietzfelbinger et
+  al., J. Algorithms 1997);
+- :class:`TabulationHash` — Patrascu–Thorup simple tabulation
+  (JACM 2012), 3-independent and "behaves like full randomness" for many
+  applications; the balanced-allocation follow-ups (arXiv:1804.09684,
+  arXiv:1407.6846) prove d-choice max-load guarantees for exactly this
+  family.
 
-All families hash 64-bit integer keys and are vectorized over numpy arrays.
+All families hash 64-bit integer keys and are vectorized over numpy arrays;
+:class:`TabulationHash` and :class:`PairwiseAffineHash` delegate their batch
+paths to the kernel tier (:mod:`repro.kernels.hash_schemes`, numpy gather /
+Mersenne limb arithmetic with an optional numba ``@njit`` tier) and expose
+:meth:`TabulationHash.scalar` / :meth:`PairwiseAffineHash.scalar`
+pure-Python oracles the bit-identity suites check the kernels against.
 Construction draws the family's random parameters from ``rng`` (``None``
 draws fresh OS entropy via :func:`repro.rng.default_generator`, so pass a
 seeded generator for reproducible tables).  Every family exposes a stable
@@ -32,9 +44,21 @@ from repro.errors import ConfigurationError
 from repro.numtheory import next_prime
 from repro.rng import default_generator
 
-__all__ = ["UniversalModPrimeHash", "MultiplyShiftHash", "TabulationHash"]
+__all__ = [
+    "MultiplyShiftHash",
+    "PairwiseAffineHash",
+    "TabulationHash",
+    "UniversalModPrimeHash",
+]
 
 _U64 = np.uint64
+
+
+def _kernels():
+    """The hash-scheme kernel module, imported lazily (import-cycle free)."""
+    from repro.kernels import hash_schemes
+
+    return hash_schemes
 
 
 def _digest(*parts: object) -> str:
@@ -50,6 +74,12 @@ def _digest(*parts: object) -> str:
 
 class UniversalModPrimeHash:
     """Carter–Wegman universal hashing: ``((a·x + b) mod p) mod n``.
+
+    2-universal over keys in ``[0, 2^key_bits)`` (Carter–Wegman, JCSS
+    1979): for distinct keys the collision probability is at most
+    ``1/n``.  The batch path runs in exact uint64 limb arithmetic when
+    ``p < 2^40`` (the default 32-bit key space) and falls back to
+    Python-int arithmetic for wider primes.
 
     Parameters
     ----------
@@ -77,24 +107,98 @@ class UniversalModPrimeHash:
         """Stable digest of ``(n, p, a, b)``."""
         return _digest("universal", self.n, self.p, self.a, self.b)
 
+    def scalar(self, key: int) -> int:
+        """Pure-Python-int oracle; the batch path must match it exactly."""
+        return ((self.a * int(key) + self.b) % self.p) % self.n
+
     def __call__(self, keys: np.ndarray | int) -> np.ndarray | int:
+        """Hash one key (Python int in, int out) or a batch (array in/out)."""
         if np.isscalar(keys):
-            return ((self.a * int(keys) + self.b) % self.p) % self.n
+            return self.scalar(keys)
         keys = np.asarray(keys, dtype=np.int64)
-        # Go through Python ints per element only when p exceeds 63 bits;
-        # for the default 32-bit key space everything fits in int64 via
-        # object-free modular arithmetic on uint64.
-        out = (self.a * keys.astype(object) + self.b) % self.p % self.n
+        if self.p >= 1 << 40:
+            # Wide primes would overflow the uint64 limb split below;
+            # go through Python ints per element (exact, slow).
+            out = (self.a * keys.astype(object) + self.b) % self.p % self.n
+            return out.astype(np.int64)
+        # Exact uint64 path: reduce keys mod p, then split the residue at
+        # 16 bits so a·x_hi < p^2 / 2^16 < 2^64 never wraps.
+        p = _U64(self.p)
+        x = keys.view(_U64) % p
+        hi = (_U64(self.a) * (x >> _U64(16))) % p
+        lo = _U64(self.a) * (x & _U64(0xFFFF))
+        out = ((hi << _U64(16)) + lo + _U64(self.b)) % p % _U64(self.n)
         return out.astype(np.int64)
+
+
+class PairwiseAffineHash:
+    """Pairwise-independent hashing over the Mersenne prime ``2^61 - 1``.
+
+    The degree-1 Carter–Wegman family ``((a·x + b) mod p) mod n`` with
+    ``p = 2^61 - 1``: **exactly pairwise independent** on keys in
+    ``[0, p)`` (Carter–Wegman, JCSS 1979) — the weakest guarantee in the
+    zoo, and precisely the "pairwise uniformity" the paper's concluding
+    remark singles out as sufficient for double hashing to match fully
+    random d-choice allocation.  Certifying this family against the
+    fully-random baseline therefore probes the paper's sufficiency claim
+    directly.
+
+    Compared to :class:`UniversalModPrimeHash` the Mersenne modulus
+    buys a division-free reduction (fold the top 3 bits back with
+    shift + mask), a 61-bit key space, and a kernel-grade batch path
+    (:func:`repro.kernels.hash_schemes.pairwise_affine_u64`, exact
+    uint64 limb arithmetic, optional numba tier).  Keys at or above
+    ``p`` are reduced mod ``p`` first.
+
+    Parameters
+    ----------
+    n:
+        Output range ``[0, n)``; a power of two is reduced by mask,
+        anything else by modulo.
+    rng:
+        Used to draw ``a`` (nonzero) and ``b`` uniformly mod ``p``.
+    """
+
+    #: The family's modulus, shared with the kernel tier.
+    P = (1 << 61) - 1
+
+    def __init__(self, n: int, rng: np.random.Generator | None = None) -> None:
+        if n < 1:
+            raise ConfigurationError(f"range must be positive, got {n}")
+        rng = default_generator(rng)
+        self.n = int(n)
+        self.a = int(rng.integers(1, self.P))
+        self.b = int(rng.integers(0, self.P))
+        self._pow2 = (self.n & (self.n - 1)) == 0
+
+    def fingerprint(self) -> str:
+        """Stable digest of ``(n, a, b)``."""
+        return _digest("pairwise", self.n, self.a, self.b)
+
+    def scalar(self, key: int) -> int:
+        """Pure-Python-int oracle; the kernel tiers must match it exactly."""
+        h = _kernels().pairwise_affine_scalar(int(key), self.a, self.b)
+        return h & (self.n - 1) if self._pow2 else h % self.n
+
+    def __call__(self, keys: np.ndarray | int) -> np.ndarray | int:
+        """Hash one key (Python int in, int out) or a batch (array in/out)."""
+        if np.isscalar(keys):
+            return self.scalar(keys)
+        h = _kernels().pairwise_affine_u64(np.asarray(keys), self.a, self.b)
+        if self._pow2:
+            return (h & _U64(self.n - 1)).astype(np.int64)
+        return (h % _U64(self.n)).astype(np.int64)
 
 
 class MultiplyShiftHash:
     """Dietzfelbinger multiply-shift: ``(a * x) >> (64 - log2(n))``.
 
-    Requires ``n`` to be a power of two.  ``a`` is a random odd 64-bit
-    multiplier.  This is the family deployed hardware implementations favor
-    (single multiply, no division), matching the paper's motivation that
-    double hashing suits hardware.
+    2-universal up to a factor 2 (Dietzfelbinger et al., *A Reliable
+    Randomized Algorithm for the Closest-Pair Problem*, J. Algorithms
+    1997).  Requires ``n`` to be a power of two.  ``a`` is a random odd
+    64-bit multiplier.  This is the family deployed hardware
+    implementations favor (single multiply, no division), matching the
+    paper's motivation that double hashing suits hardware.
     """
 
     def __init__(self, n: int, rng: np.random.Generator | None = None) -> None:
@@ -112,6 +216,7 @@ class MultiplyShiftHash:
         return _digest("multiply-shift", self.n, self.a)
 
     def __call__(self, keys: np.ndarray | int) -> np.ndarray | int:
+        """Hash one key (Python int in, int out) or a batch (array in/out)."""
         if self.n == 1:
             return 0 if np.isscalar(keys) else np.zeros(len(keys), np.int64)
         if np.isscalar(keys):
@@ -125,9 +230,21 @@ class MultiplyShiftHash:
 class TabulationHash:
     """Simple tabulation hashing over 64-bit keys split into 8-bit chars.
 
-    Eight lookup tables of 256 random words are XOR-combined; the result is
-    reduced to ``[0, n)``.  For power-of-two ``n`` the reduction is a mask
-    (preserving full independence properties); otherwise a modulo.
+    Eight lookup tables of 256 random words are XOR-combined
+    (Patrascu–Thorup, *The Power of Simple Tabulation Hashing*, JACM
+    2012): 3-independent, not 4-independent, yet strong enough that the
+    follow-up papers prove d-choice balanced-allocation max-load bounds
+    for it (*Power of d Choices with Simple Tabulation*,
+    arXiv:1804.09684; *The Power of Two Choices with Simple Tabulation*,
+    arXiv:1407.6846).  The result is reduced to ``[0, n)``: for
+    power-of-two ``n`` the reduction is a mask (preserving full
+    independence properties); otherwise a modulo.
+
+    The batch path runs through the kernel tier
+    (:func:`repro.kernels.hash_schemes.tabulation_hash_u64`): the eight
+    tables flatten into one contiguous 16 KiB gather array consumed by
+    blocked ``np.take`` (or the numba loop); :meth:`scalar` is the
+    pure-Python oracle the tiers are certified bit-identical against.
     """
 
     CHARS = 8
@@ -145,20 +262,22 @@ class TabulationHash:
             0, 2, size=(self.CHARS, self.TABLE_SIZE), dtype=np.int64
         ).astype(_U64)
         self._pow2 = (self.n & (self.n - 1)) == 0
+        self._flat = _kernels().flatten_tables(self.tables)
 
     def fingerprint(self) -> str:
         """Stable digest of ``(n, tables)``."""
         return _digest("tabulation", self.n, self.tables)
 
+    def scalar(self, key: int) -> int:
+        """Pure-Python-int oracle; the kernel tiers must match it exactly."""
+        h = _kernels().tabulation_hash_scalar(int(key), self.tables)
+        return h & (self.n - 1) if self._pow2 else h % self.n
+
     def __call__(self, keys: np.ndarray | int) -> np.ndarray | int:
-        scalar = np.isscalar(keys)
-        arr = np.atleast_1d(np.asarray(keys)).astype(_U64)
-        acc = np.zeros(arr.shape, dtype=_U64)
-        for c in range(self.CHARS):
-            byte = (arr >> _U64(8 * c)) & _U64(0xFF)
-            acc ^= self.tables[c][byte.astype(np.int64)]
+        """Hash one key (Python int in, int out) or a batch (array in/out)."""
+        if np.isscalar(keys):
+            return self.scalar(keys)
+        acc = _kernels().tabulation_hash_u64(np.asarray(keys), self._flat)
         if self._pow2:
-            out = (acc & _U64(self.n - 1)).astype(np.int64)
-        else:
-            out = (acc % _U64(self.n)).astype(np.int64)
-        return int(out[0]) if scalar else out
+            return (acc & _U64(self.n - 1)).astype(np.int64)
+        return (acc % _U64(self.n)).astype(np.int64)

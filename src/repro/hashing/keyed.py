@@ -37,6 +37,7 @@ from repro.errors import ConfigurationError
 from repro.hashing.base import ChoiceScheme
 from repro.hashing.hash_functions import (
     MultiplyShiftHash,
+    PairwiseAffineHash,
     TabulationHash,
     UniversalModPrimeHash,
 )
@@ -53,9 +54,10 @@ __all__ = [
 ]
 
 #: Concrete keyed hash families by short name.  ``multiply-shift`` needs a
-#: power-of-two range; the other two accept any positive range.
+#: power-of-two range; the other three accept any positive range.
 HASH_FAMILIES = {
     "multiply-shift": MultiplyShiftHash,
+    "pairwise": PairwiseAffineHash,
     "tabulation": TabulationHash,
     "universal": UniversalModPrimeHash,
 }
@@ -119,6 +121,18 @@ class KeyedChoices(abc.ABC):
         Row ``i`` holds the candidate bins of ``keys[i]``; equal keys get
         equal rows (within and across calls on the same instance).
         """
+
+    def choices_planar(self, keys) -> np.ndarray:
+        """Like :meth:`choices` but transposed: a ``(d, len(keys))`` array.
+
+        Plane ``j`` holds the ``j``-th choice of every key — the layout
+        the placement-kernel generation path consumes so each flat
+        gather walks one contiguous plane.  The default transposes
+        :meth:`choices`; subclasses with a natural per-plane fill
+        (:class:`IndependentKeyed`) or a per-plane stride recurrence
+        (:class:`DoubleHashedKeyed`) override it, bit-identically.
+        """
+        return np.ascontiguousarray(self.choices(keys).T)
 
     @abc.abstractmethod
     def fingerprint(self) -> str:
@@ -198,9 +212,11 @@ class DoubleHashedKeyed(KeyedChoices):
 
     @property
     def distinct(self) -> bool:
+        """True: the stride is a unit, so the ``d`` probes never collide."""
         return True
 
     def choices(self, keys) -> np.ndarray:
+        """Row-major ``(len(keys), d)`` arithmetic progressions mod ``n``."""
         keys = _as_key_array(keys)
         n = self.n_bins
         if n == 1:
@@ -213,7 +229,35 @@ class DoubleHashedKeyed(KeyedChoices):
         stride = g + 1
         return (f[:, None] + stride[:, None] * self._ks) % n
 
+    def choices_planar(self, keys) -> np.ndarray:
+        """Planar choices via the stride recurrence (no transpose, no mul).
+
+        Plane ``j`` is plane ``j-1`` plus the stride, wrapped — a mask
+        for power-of-two ``n``, one conditional subtract for prime ``n``
+        (the stride is below ``n``, so a single correction suffices).
+        Bit-identical to ``choices(keys).T``.
+        """
+        keys = _as_key_array(keys)
+        n = self.n_bins
+        out = np.empty((self.d, keys.size), dtype=np.int64)
+        if n == 1:
+            out.fill(0)
+            return out
+        f = np.asarray(self._f(keys), dtype=np.int64)
+        g = np.asarray(self._g(keys), dtype=np.int64)
+        stride = ((g << 1) | 1) if self._pow2 else g + 1
+        out[0] = f
+        for j in range(1, self.d):
+            plane = out[j]
+            np.add(out[j - 1], stride, out=plane)
+            if self._pow2:
+                plane &= n - 1
+            else:
+                plane[plane >= n] -= n
+        return out
+
     def fingerprint(self) -> str:
+        """Digest of ``d`` plus both drawn hash functions' fingerprints."""
         h = hashlib.blake2b(digest_size=8)
         h.update(
             f"double:{self.d}:{self._f.fingerprint()}:{self._g.fingerprint()}".encode()
@@ -221,6 +265,7 @@ class DoubleHashedKeyed(KeyedChoices):
         return h.hexdigest()
 
     def describe(self) -> str:
+        """Short human-readable label including family and geometry."""
         return (
             f"keyed-double({self.family}, n_bins={self.n_bins}, d={self.d})"
         )
@@ -258,6 +303,7 @@ class IndependentKeyed(KeyedChoices):
         self._hashes = [make_hash_family(family, self.n_bins, rng) for _ in range(d)]
 
     def choices(self, keys) -> np.ndarray:
+        """Row-major ``(len(keys), d)`` table: column ``j`` is hash ``j``."""
         keys = _as_key_array(keys)
         if self.n_bins == 1:
             return np.zeros((keys.size, self.d), dtype=np.int64)
@@ -266,7 +312,19 @@ class IndependentKeyed(KeyedChoices):
             out[:, j] = h(keys)
         return out
 
+    def choices_planar(self, keys) -> np.ndarray:
+        """Planar choices filled one contiguous hash plane at a time."""
+        keys = _as_key_array(keys)
+        out = np.empty((self.d, keys.size), dtype=np.int64)
+        if self.n_bins == 1:
+            out.fill(0)
+            return out
+        for j, h in enumerate(self._hashes):
+            out[j] = h(keys)
+        return out
+
     def fingerprint(self) -> str:
+        """Digest of the ``d`` drawn hash functions' fingerprints."""
         h = hashlib.blake2b(digest_size=8)
         h.update(
             ("independent:" + ":".join(f.fingerprint() for f in self._hashes)).encode()
@@ -274,6 +332,7 @@ class IndependentKeyed(KeyedChoices):
         return h.hexdigest()
 
     def describe(self) -> str:
+        """Short human-readable label including family and geometry."""
         return (
             f"keyed-independent({self.family}, n_bins={self.n_bins}, d={self.d})"
         )
@@ -309,11 +368,25 @@ class KeyedStreamScheme(ChoiceScheme):
 
     @property
     def distinct(self) -> bool:
+        """Delegates to the wrapped keyed scheme."""
         return self.keyed.distinct
 
     def batch(self, trials: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``trials`` fresh keys and hash them to ``(trials, d)`` rows."""
         keys = rng.integers(0, self._key_high, size=trials, dtype=np.int64)
         return self.keyed.choices(keys)
 
+    def batch_planar(self, trials: int, rng: np.random.Generator) -> np.ndarray:
+        """Planar batch for the kernel generation path (same key stream).
+
+        Draws the identical key stream as :meth:`batch` and routes it
+        through :meth:`KeyedChoices.choices_planar`, so the fused
+        placement kernel consumes keyed families without the transpose —
+        and with the exact same choices as the row-major path.
+        """
+        keys = rng.integers(0, self._key_high, size=trials, dtype=np.int64)
+        return self.keyed.choices_planar(keys)
+
     def describe(self) -> str:
+        """Label wrapping the adapted keyed scheme's own description."""
         return f"keyed-stream({self.keyed.describe()})"

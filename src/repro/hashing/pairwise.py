@@ -62,8 +62,11 @@ class PairwiseStats:
 
     @property
     def max_pair_error(self) -> float:
-        """Largest absolute deviation of any off-diagonal ordered-pair
-        frequency from ``1/(n(n-1))``."""
+        """Largest off-diagonal ordered-pair frequency deviation.
+
+        Deviation is measured against the exactly-uniform value
+        ``1/(n(n-1))``.
+        """
         n = self.pair_counts.shape[0]
         d = self.marginal.shape[0]
         total_pairs = self.samples * d * (d - 1)

@@ -42,7 +42,7 @@ class _PartitionedScheme(ChoiceScheme):
 
     @property
     def distinct(self) -> bool:
-        # Candidates live in disjoint subtables, hence always distinct.
+        """True: candidates live in disjoint subtables."""
         return True
 
 
@@ -50,12 +50,14 @@ class PartitionedFullyRandom(_PartitionedScheme):
     """One independent uniform choice per subtable (Vöcking baseline)."""
 
     def batch(self, trials: int, rng: np.random.Generator) -> np.ndarray:
+        """One independent uniform local slot per subtable, offset-shifted."""
         local = rng.integers(
             0, self.subtable_size, size=(trials, self.d), dtype=np.int64
         )
         return local + self._offsets
 
     def describe(self) -> str:
+        """Short human-readable label including the subtable geometry."""
         return (
             f"d-left fully-random(n_bins={self.n_bins}, d={self.d}, "
             f"subtable={self.subtable_size})"
@@ -63,8 +65,7 @@ class PartitionedFullyRandom(_PartitionedScheme):
 
 
 class PartitionedDoubleHashing(_PartitionedScheme):
-    """Double hashing across subtables: subtable ``k`` gets
-    ``(f + k·g) mod (n/d)``.
+    """Double hashing across subtables: ``(f + k·g) mod (n/d)`` in subtable ``k``.
 
     Requires ``n/d ≥ 2`` so a stride exists (for ``n/d == 1`` every choice
     is forced anyway).
@@ -75,6 +76,7 @@ class PartitionedDoubleHashing(_PartitionedScheme):
         self._ks = np.arange(d, dtype=np.int64)
 
     def batch(self, trials: int, rng: np.random.Generator) -> np.ndarray:
+        """Stride progressions across subtables with a shared ``(f, g)``."""
         size = self.subtable_size
         if size == 1:
             return np.broadcast_to(
@@ -86,6 +88,7 @@ class PartitionedDoubleHashing(_PartitionedScheme):
         return local + self._offsets
 
     def describe(self) -> str:
+        """Short human-readable label including the subtable geometry."""
         return (
             f"d-left double-hashing(n_bins={self.n_bins}, d={self.d}, "
             f"subtable={self.subtable_size})"

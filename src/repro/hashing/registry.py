@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import warnings
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -52,10 +53,13 @@ from repro.rng import default_generator
 __all__ = [
     "SCHEME_ENV_VAR",
     "DEFAULT_SCHEME",
+    "SCHEME_INFO",
+    "SchemeInfo",
     "keyed_scheme_names",
     "make_keyed_scheme",
     "make_scheme",
     "resolve_scheme_name",
+    "scheme_info",
     "scheme_names",
 ]
 
@@ -97,7 +101,114 @@ _KEYED_BUILDERS: dict = {
     "universal": lambda n, d, rng: IndependentKeyed(
         n, d, family="universal", rng=rng
     ),
+    "pairwise": lambda n, d, rng: IndependentKeyed(
+        n, d, family="pairwise", rng=rng
+    ),
+    "pairwise-double": lambda n, d, rng: DoubleHashedKeyed(
+        n, d, family="pairwise", rng=rng
+    ),
 }
+
+
+@dataclass(frozen=True)
+class SchemeInfo:
+    """One registry row of the hash-family zoo's empirical map.
+
+    The single transcription point for each scheme's theory pedigree:
+    ``docs/hash-families.md``, the EXPERIMENTS.md scheme-sweep section,
+    and the drift check all render from this table, never from copied
+    literals.
+
+    Attributes
+    ----------
+    name:
+        Registry name (a :func:`make_scheme` key).
+    constructor:
+        The class (and wiring) the name resolves to, human-readable.
+    guarantee:
+        The independence/uniformity guarantee the construction carries.
+    citation:
+        Where the guarantee (or the scheme) is proved or defined.
+    """
+
+    name: str
+    constructor: str
+    guarantee: str
+    citation: str
+
+
+#: Theory metadata for every registry name, keyed by name.
+SCHEME_INFO: dict[str, SchemeInfo] = {
+    info.name: info
+    for info in (
+        SchemeInfo(
+            "random", "FullyRandomChoices (distinct)",
+            "d fully random distinct bins per ball",
+            "Mitzenmacher, SPAA 2014 (baseline)",
+        ),
+        SchemeInfo(
+            "random-replace", "FullyRandomChoices (replacement)",
+            "d fully random bins per ball, with replacement",
+            "Mitzenmacher, SPAA 2014 (Sec. 2)",
+        ),
+        SchemeInfo(
+            "double", "DoubleHashingChoices",
+            "pairwise-uniform (f, g) drawn fresh per ball",
+            "Mitzenmacher, SPAA 2014 (subject)",
+        ),
+        SchemeInfo(
+            "random-left", "PartitionedFullyRandom",
+            "one fully random choice per d-left subtable",
+            "Voecking, JACM 2003",
+        ),
+        SchemeInfo(
+            "double-left", "PartitionedDoubleHashing",
+            "double-hashed choices over d-left subtables",
+            "Mitzenmacher, SPAA 2014 (Table 7)",
+        ),
+        SchemeInfo(
+            "blocks", "BlockChoices",
+            "two values address d contiguous-block choices",
+            "Kenthapadi-Panigrahy, SODA 2006",
+        ),
+        SchemeInfo(
+            "multiply-shift", "DoubleHashedKeyed(multiply-shift)",
+            "keyed double hashing; f, g 2-universal up to a factor 2",
+            "Dietzfelbinger et al., J. Algorithms 1997",
+        ),
+        SchemeInfo(
+            "tabulation", "IndependentKeyed(tabulation)",
+            "d independent simple-tabulation hashes, 3-independent",
+            "Patrascu-Thorup, JACM 2012; arXiv:1804.09684",
+        ),
+        SchemeInfo(
+            "tabulation-double", "DoubleHashedKeyed(tabulation)",
+            "keyed double hashing; f, g simple tabulation",
+            "Patrascu-Thorup, JACM 2012; arXiv:1407.6846",
+        ),
+        SchemeInfo(
+            "universal", "IndependentKeyed(universal)",
+            "d independent Carter-Wegman mod-prime hashes, 2-universal",
+            "Carter-Wegman, JCSS 1979",
+        ),
+        SchemeInfo(
+            "pairwise", "IndependentKeyed(pairwise)",
+            "d independent affine hashes mod 2^61-1, exactly pairwise independent",
+            "Carter-Wegman, JCSS 1979; paper's closing remark",
+        ),
+        SchemeInfo(
+            "pairwise-double", "DoubleHashedKeyed(pairwise)",
+            "keyed double hashing; f, g exactly pairwise independent",
+            "Carter-Wegman, JCSS 1979; paper's closing remark",
+        ),
+    )
+}
+
+
+def scheme_info(name: str) -> SchemeInfo:
+    """Look up a scheme's theory metadata by registry name."""
+    key = resolve_scheme_name(name)
+    return SCHEME_INFO[key]
 
 
 def scheme_names() -> tuple[str, ...]:
@@ -146,7 +257,8 @@ def make_scheme(
         (``"random"``, ``"double"``, ``"random-left"``, ``"double-left"``,
         ``"random-replace"``, ``"blocks"``) plus the keyed hash families
         (``"multiply-shift"``, ``"tabulation"``, ``"tabulation-double"``,
-        ``"universal"``), which are wrapped in a
+        ``"universal"``, ``"pairwise"``, ``"pairwise-double"``), which
+        are wrapped in a
         :class:`~repro.hashing.keyed.KeyedStreamScheme`.  ``None``
         resolves via :func:`resolve_scheme_name` (``REPRO_SCHEME`` env,
         then ``"double"``).

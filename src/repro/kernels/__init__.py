@@ -59,6 +59,13 @@ from repro.kernels.generate import (
     generate_packed,
     plan_layout,
 )
+from repro.kernels.hash_schemes import (
+    flatten_tables,
+    pairwise_affine_scalar,
+    pairwise_affine_u64,
+    tabulation_hash_scalar,
+    tabulation_hash_u64,
+)
 from repro.kernels.numpy_backend import NumpyBackend, choose_window
 from repro.kernels.peeling import (
     PeelOutcome,
@@ -96,9 +103,12 @@ __all__ = [
     "check_queue_packing",
     "choose_window",
     "default_shards",
+    "flatten_tables",
     "fused_parallel_supported",
     "generate_packed",
     "kernel_metrics",
+    "pairwise_affine_scalar",
+    "pairwise_affine_u64",
     "place_ball",
     "plan_layout",
     "resolve_backend",
@@ -109,6 +119,8 @@ __all__ = [
     "sequential_packed_reference",
     "simulate_single_trial",
     "simulate_supermarket_reference",
+    "tabulation_hash_scalar",
+    "tabulation_hash_u64",
 ]
 
 #: Ball-steps generated (and fed to the kernel) per superblock.  Sweep at

@@ -78,8 +78,10 @@ _M2 = np.uint64(_MIX2)
 
 
 def default_shards(n_bins: int, d: int) -> int:
-    """Shard count so each aggregation slice stays within the historical
-    packed address space: 1 until ``n_bins * d`` exceeds 2**23."""
+    """Shard count keeping each aggregation slice in the packed space.
+
+    Stays at 1 until ``n_bins * d`` exceeds 2**23.
+    """
     return max(1, -(-(n_bins * d) // _SHARD_ELEMENTS))
 
 

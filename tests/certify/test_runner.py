@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import pytest
 
+from repro.certify.tiers import CertificationTier, TableRun
 from repro.certify.verdict import validate_certification
+from repro.experiments.config import ExperimentSpec
 
 from .conftest import MICRO_TIER
 
@@ -90,3 +92,52 @@ class TestRunnerErrors:
 
         with pytest.raises(ConfigurationError, match="unknown kernel backend"):
             run_certification(MICRO_TIER, backend="fortran")
+
+
+SCHEMES_TIER = CertificationTier(
+    name="micro-schemes",
+    description="test-only tier: one hash-family-zoo cell at toy scale",
+    runs=(
+        TableRun(
+            "schemes", "n10-d3",
+            ExperimentSpec(n=1024, d=3, trials=12, seed=141),
+            extras={"schemes": ("tabulation", "pairwise")},
+        ),
+    ),
+    anchor_z=8.0,
+    alpha=1e-3,
+    queueing_rel_tol=0.12,
+)
+
+
+class TestSchemesCertifier:
+    """The hash-family-zoo cells: per-scheme equivalence vs fully random."""
+
+    @pytest.fixture(scope="class")
+    def schemes_cert(self):
+        from repro.certify.runner import run_certification
+
+        return run_certification(SCHEMES_TIER, backend="numpy", workers=1)
+
+    def test_passes_at_toy_scale(self, schemes_cert):
+        failed = [c.check_id for c in schemes_cert.checks if not c.passed]
+        assert schemes_cert.passed, f"failing checks: {failed}"
+
+    def test_one_equivalence_and_bootstrap_per_scheme(self, schemes_cert):
+        ids = {c.check_id for c in schemes_cert.checks}
+        assert ids == {
+            "equivalence:schemes/n10-d3/tabulation:chi2",
+            "equivalence:schemes/n10-d3/pairwise:chi2",
+            "bootstrap:schemes/n10-d3-tabulation:max-load",
+            "bootstrap:schemes/n10-d3-pairwise:max-load",
+        }
+
+    def test_equivalence_checks_join_holm_family(self, schemes_cert):
+        eq = [c for c in schemes_cert.checks if c.kind == "equivalence"]
+        assert eq
+        for check in eq:
+            assert check.p_value is not None
+            assert check.p_holm is not None
+
+    def test_document_is_schema_valid(self, schemes_cert):
+        assert validate_certification(schemes_cert.to_dict()) == []

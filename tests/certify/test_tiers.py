@@ -26,13 +26,30 @@ class TestTierShape:
 
     def test_smoke_covers_the_gate_tables(self):
         assert set(tier("smoke").tables) == {
-            "table1", "table2", "table3", "table8", "peeling",
+            "table1", "table2", "table3", "table8", "peeling", "schemes",
         }
 
     def test_standard_and_full_cover_all_tables(self):
-        expected = {f"table{k}" for k in range(1, 9)} | {"peeling"}
+        expected = {f"table{k}" for k in range(1, 9)} | {"peeling", "schemes"}
         assert set(tier("standard").tables) == expected
         assert set(tier("full").tables) == expected
+
+    def test_scheme_sweeps_name_registered_keyed_schemes(self):
+        from repro.hashing import keyed_scheme_names
+
+        keyed = set(keyed_scheme_names())
+        for name in sorted(TIERS):
+            for run in TIERS[name].runs:
+                if run.table != "schemes":
+                    continue
+                swept = run.extras["schemes"]
+                assert set(swept) <= keyed, (name, run.variant)
+                assert len(swept) == len(set(swept))
+
+    def test_full_tier_sweeps_production_scale(self):
+        sizes = [run.spec.n for run in TIERS["full"].runs
+                 if run.table == "schemes"]
+        assert max(sizes) == 2**24
 
     @pytest.mark.parametrize("name", sorted(TIERS))
     def test_seeds_distinct_within_tier(self, name):

@@ -130,3 +130,55 @@ class TestDeprecationShims:
     def test_n_and_n_bins_together_rejected(self):
         with pytest.raises(ConfigurationError):
             make_scheme("double", 1 << 8, 2, n_bins=1 << 8)
+
+
+class TestPairwiseRegistryEntries:
+    """The pairwise family rides the same registry paths as the others."""
+
+    def test_pairwise_names_registered(self):
+        names = keyed_scheme_names()
+        assert "pairwise" in names and "pairwise-double" in names
+
+    def test_pairwise_wraps_independent_keyed(self):
+        scheme = make_scheme("pairwise", 1 << 8, 3, seed=1)
+        assert isinstance(scheme, KeyedStreamScheme)
+        assert isinstance(scheme.keyed, IndependentKeyed)
+        assert scheme.keyed.family == "pairwise"
+
+    def test_pairwise_double_rows_distinct_at_prime_n(self):
+        scheme = make_scheme("pairwise-double", 65537, 4, seed=2)
+        out = scheme.batch(500, np.random.default_rng(3))
+        srt = np.sort(out, axis=1)
+        assert not (srt[:, 1:] == srt[:, :-1]).any()
+
+    def test_env_resolution_reaches_pairwise(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEME", "pairwise")
+        assert resolve_scheme_name(None) == "pairwise"
+        assert resolve_scheme_name("double") == "double"
+        scheme = make_scheme(None, 1 << 8, 2, seed=4)
+        assert isinstance(scheme, KeyedStreamScheme)
+
+
+class TestSchemeInfo:
+    """SCHEME_INFO is the single transcription of the zoo's theory columns."""
+
+    def test_covers_every_registered_name(self):
+        from repro.hashing import SCHEME_INFO
+
+        assert set(SCHEME_INFO) == set(scheme_names())
+
+    def test_rows_are_complete(self):
+        from repro.hashing import SCHEME_INFO
+
+        for name, info in SCHEME_INFO.items():
+            assert info.name == name
+            assert info.constructor and info.guarantee and info.citation
+
+    def test_lookup_follows_name_resolution(self, monkeypatch):
+        from repro.hashing import scheme_info
+
+        assert scheme_info("pairwise").citation.startswith("Carter-Wegman")
+        monkeypatch.setenv("REPRO_SCHEME", "tabulation")
+        assert scheme_info(None).name == "tabulation"
+        monkeypatch.delenv("REPRO_SCHEME")
+        assert scheme_info(None).name == "double"
