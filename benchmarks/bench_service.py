@@ -1,13 +1,15 @@
 #!/usr/bin/env python
-"""A/B benchmark of keyed service throughput across hashing schemes.
+"""A/B benchmark of keyed service throughput: schemes and kernel tiers.
 
-Run as a script (not under pytest-benchmark — the comparison needs
+Run as a script (not under pytest-benchmark — the comparisons need
 *interleaved* rounds to survive noisy shared hosts)::
 
     PYTHONPATH=src python benchmarks/bench_service.py [--out BENCH_service.json]
 
-Contestants, measured on the acceptance geometry (``n = 2^16`` bins,
-``d = 2``, fresh-key insert stream):
+Two sections, both on the acceptance geometry (``n = 2^16`` bins,
+``d = 2``, fresh-key insert stream, then a full-hit lookup pass):
+
+**schemes** — hashing contestants on the default (numpy) kernel tier:
 
 - ``double``     — keyed double hashing over multiply-shift (two hash
   computations per key — the paper's pitch);
@@ -16,17 +18,31 @@ Contestants, measured on the acceptance geometry (``n = 2^16`` bins,
 - ``tabulation`` — d independent simple-tabulation hashes (the strongest
   practical family; the follow-up paper's setting).
 
-Each round inserts ``--keys`` fresh keys into a fresh
-:class:`repro.service.KeyedStore` and times the whole batch (hashing +
-micro-batched least-loaded placement + key-map update).  Contestants run
+**backends** — assignment-map kernel tiers
+(:mod:`repro.kernels.keymap`) under the ``double`` scheme:
+
+- ``reference``      — the demoted dict path, one Python loop per batch
+  (the semantics oracle every tier is certified against);
+- ``numpy``          — the vectorized cohort-probing kernel;
+- ``numba`` / ``numba-parallel`` — the JIT tiers, included when numba is
+  importable (first call warmed up outside the timed region).
+
+When numba is not importable those entries are still written, as
+``{"status": "unavailable", "error": ...}`` — a silent fallback can
+never masquerade as a recorded tier.  ``--require-numba`` (the CI bench
+job sets it) turns that into a hard failure.
+
+Each round builds a fresh presized :class:`repro.service.KeyedStore`,
+times one ``insert_many`` over ``--keys`` fresh keys (hashing +
+micro-batched least-loaded placement + assignment-map update), then
+times one ``lookup_many`` over the same keys.  Contestants run
 round-robin inside one process; per-contestant medians are compared, so
-slow host phases hit every scheme equally.  See ``docs/service.md``.
+slow host phases hit every contestant equally.  See ``docs/service.md``.
 
 The JSON written to ``--out`` records per-round wall-clock, medians,
-keyed insert ops/second per scheme, throughput ratios vs ``double``, and
-the final tail loads (max/p99/p999) so balance regressions are visible
-next to throughput.  The repo's acceptance bar is >= 1e6 insert ops/s on
-the numpy path for the default geometry.
+insert and lookup ops/second, throughput ratios (vs ``double`` for
+schemes, vs ``reference`` for backends), and the final tail loads
+(max/p99/p999) so balance regressions are visible next to throughput.
 """
 
 from __future__ import annotations
@@ -44,53 +60,117 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.metrics import MetricsRegistry                 # noqa: E402
-from repro.service import KeyedStore                      # noqa: E402
+from repro.kernels.keymap import available_keymap_backends  # noqa: E402
+from repro.kernels.numba_keymap import NUMBA_IMPORT_ERROR   # noqa: E402
+from repro.metrics import MetricsRegistry                   # noqa: E402
+from repro.service import KeyedStore                        # noqa: E402
 
 SCHEMES = ("double", "random", "tabulation")
+_NUMBA_TIERS = ("numba", "numba-parallel")
 
 
-def _one_round(scheme, n, d, n_keys, seed, micro_batch, key_start):
-    """Insert ``n_keys`` fresh keys into a fresh store; return stats."""
+def numba_unavailable_entry():
+    """The recorded-but-unavailable marker for a numba kernel tier."""
+    return {
+        "status": "unavailable",
+        "error": f"numba not importable: {NUMBA_IMPORT_ERROR!r}",
+    }
+
+
+def _one_round(scheme, backend, n, d, n_keys, seed, micro_batch, key_start,
+               check=False):
+    """Insert + look up ``n_keys`` fresh keys in a fresh presized store."""
     store = KeyedStore(
         n, d, scheme=scheme, seed=seed, micro_batch=micro_batch,
-        metrics=MetricsRegistry(),
+        backend=backend, expected_keys=n_keys, metrics=MetricsRegistry(),
     )
     keys = np.arange(key_start, key_start + n_keys, dtype=np.int64)
     t0 = time.perf_counter()
-    store.insert_many(keys)
-    seconds = time.perf_counter() - t0
+    bins = store.insert_many(keys)
+    t1 = time.perf_counter()
+    found = store.lookup_many(keys)
+    t2 = time.perf_counter()
     loads = store.loads
-    assert loads.sum() == n_keys, f"{scheme} lost keys"
-    assert store.size == n_keys
+    if check:
+        assert loads.sum() == n_keys, f"{scheme}/{backend} lost keys"
+        assert store.size == n_keys
+        assert (found == bins).all(), f"{scheme}/{backend} lookup mismatch"
     p99, p999 = (float(q) for q in np.quantile(loads, (0.99, 0.999)))
-    return seconds, {
+    return t1 - t0, t2 - t1, {
         "max_load": int(loads.max()),
         "p99": p99,
         "p999": p999,
     }
 
 
-def run(n=2**16, d=2, n_keys=2**20, seed=20140623, rounds=5,
-        micro_batch=2048):
-    times = {name: [] for name in SCHEMES}
+def _bench_contestants(contestants, n, d, n_keys, seed, rounds, micro_batch):
+    """Interleaved insert+lookup rounds; returns per-contestant raw data.
+
+    ``contestants`` maps name -> (scheme, backend).  Warm-up runs every
+    contestant once outside the timed region (tabulation table draws,
+    JIT compiles, allocator pools) with conservation and lookup
+    correctness checked — a broken tier can never post a fast time.
+    """
+    ins = {name: [] for name in contestants}
+    lkp = {name: [] for name in contestants}
     tails = {}
-    # Warm-up: every scheme once outside the timed region (tabulation
-    # table draws, numpy allocator pools), with conservation checked.
-    for name in SCHEMES:
-        _, tails[name] = _one_round(
-            name, n, d, n_keys, seed, micro_batch, key_start=1
+    for name, (scheme, backend) in contestants.items():
+        _, _, tails[name] = _one_round(
+            scheme, backend, n, d, n_keys, seed, micro_batch,
+            key_start=1, check=True,
         )
     for r in range(rounds):
-        for name in SCHEMES:            # interleaved round-robin
-            seconds, _ = _one_round(
-                name, n, d, n_keys, seed, micro_batch,
+        for name, (scheme, backend) in contestants.items():
+            t_ins, t_lkp, _ = _one_round(
+                scheme, backend, n, d, n_keys, seed, micro_batch,
                 key_start=1 + (r + 1) * n_keys,
             )
-            times[name].append(seconds)
+            ins[name].append(t_ins)
+            lkp[name].append(t_lkp)
+    return ins, lkp, tails
 
-    medians = {name: statistics.median(ts) for name, ts in times.items()}
-    report = {
+
+def _results(ins, lkp, tails, n_keys, baseline):
+    """Median summaries with throughput ratios vs ``baseline``."""
+    med_i = {name: statistics.median(ts) for name, ts in ins.items()}
+    med_l = {name: statistics.median(ts) for name, ts in lkp.items()}
+    return {
+        name: {
+            "insert_round_seconds": [round(t, 6) for t in ins[name]],
+            "lookup_round_seconds": [round(t, 6) for t in lkp[name]],
+            "median_seconds": round(med_i[name], 6),
+            "lookup_median_seconds": round(med_l[name], 6),
+            "insert_ops_per_second": round(n_keys / med_i[name], 1),
+            "lookup_ops_per_second": round(n_keys / med_l[name], 1),
+            f"throughput_vs_{baseline}": round(
+                med_i[baseline] / med_i[name], 3
+            ),
+            f"lookup_vs_{baseline}": round(med_l[baseline] / med_l[name], 3),
+            "tail_loads": tails[name],
+        }
+        for name in ins
+    }
+
+
+def run(n=2**16, d=2, n_keys=2**20, seed=20140623, rounds=5,
+        micro_batch=2048):
+    """Both benchmark sections; returns the JSON-ready report dict."""
+    scheme_runs = {name: (name, None) for name in SCHEMES}
+    s_ins, s_lkp, s_tails = _bench_contestants(
+        scheme_runs, n, d, n_keys, seed, rounds, micro_batch
+    )
+    backend_runs = {
+        backend: ("double", backend)
+        for backend in available_keymap_backends()
+    }
+    b_ins, b_lkp, b_tails = _bench_contestants(
+        backend_runs, n, d, n_keys, seed, rounds, micro_batch
+    )
+    backends = _results(b_ins, b_lkp, b_tails, n_keys, baseline="reference")
+    for tier in _NUMBA_TIERS:
+        if tier not in backends:
+            backends[tier] = numba_unavailable_entry()
+    return {
         "geometry": {
             "n_bins": n, "d": d, "n_keys": n_keys, "seed": seed,
             "micro_batch": micro_batch,
@@ -100,21 +180,24 @@ def run(n=2**16, d=2, n_keys=2**20, seed=20140623, rounds=5,
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "keymap_backends_available": list(available_keymap_backends()),
         },
-        "results": {
-            name: {
-                "round_seconds": [round(t, 6) for t in ts],
-                "median_seconds": round(medians[name], 6),
-                "insert_ops_per_second": round(n_keys / medians[name], 1),
-                "throughput_vs_double": round(
-                    medians["double"] / medians[name], 3
-                ),
-                "tail_loads": tails[name],
-            }
-            for name, ts in times.items()
-        },
+        "results": _results(s_ins, s_lkp, s_tails, n_keys, baseline="double"),
+        "backends": backends,
     }
-    return report
+
+
+def _print_section(title, results, ratio_key):
+    print(f"-- {title} --")
+    for name, r in results.items():
+        if r.get("status") == "unavailable":
+            print(f"{name:>14}: UNAVAILABLE ({r['error']})")
+            continue
+        print(
+            f"{name:>14}: insert {r['insert_ops_per_second']:>12,.0f} ops/s  "
+            f"lookup {r['lookup_ops_per_second']:>12,.0f} ops/s  "
+            f"{r[ratio_key]:5.2f}x  max load {r['tail_loads']['max_load']}"
+        )
 
 
 def main(argv=None):
@@ -135,6 +218,10 @@ def main(argv=None):
         "--quick", action="store_true",
         help="small fast configuration for CI smoke (2^14 bins, 2^17 keys)",
     )
+    parser.add_argument(
+        "--require-numba", action="store_true", dest="require_numba",
+        help="fail (exit 1) when the numba tiers were not benchmarked",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -147,14 +234,21 @@ def main(argv=None):
         rounds=args.rounds, micro_batch=args.micro_batch,
     )
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
-    for name, r in report["results"].items():
-        print(
-            f"{name:>10}: median {r['median_seconds']*1e3:8.1f} ms  "
-            f"{r['insert_ops_per_second']:>12,.0f} insert ops/s  "
-            f"{r['throughput_vs_double']:5.2f}x vs double  "
-            f"max load {r['tail_loads']['max_load']}"
-        )
+    _print_section("schemes (numpy tier)", report["results"],
+                   "throughput_vs_double")
+    _print_section("keymap backends (double scheme)", report["backends"],
+                   "throughput_vs_reference")
     print(f"wrote {args.out}")
+    if args.require_numba and any(
+        report["backends"][tier].get("status") == "unavailable"
+        for tier in _NUMBA_TIERS
+    ):
+        print(
+            "ERROR: --require-numba set but a numba keymap tier was not "
+            "benchmarked (silent numpy fallback)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -43,6 +43,7 @@ from repro.experiments import format_table
 from repro.experiments import tables as _tables
 from repro.experiments.config import TABLE_DEFAULTS, ExperimentSpec
 from repro.hashing.registry import keyed_scheme_names, scheme_names
+from repro.kernels.keymap import KNOWN_KEYMAP_BACKENDS
 from repro.metrics import MetricsRegistry
 from repro.parallel.engine import ChunkProgress
 
@@ -214,6 +215,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="constant", help="per-step intensity shape")
     serve.add_argument("--shards", type=int, default=1,
                        help="shard count (power of two; 1 = single store)")
+    serve.add_argument(
+        "--backend", choices=list(KNOWN_KEYMAP_BACKENDS), default=None,
+        help="assignment-map kernel tier (default: REPRO_BACKEND, then auto)",
+    )
     serve.add_argument("--seed", type=int, default=1)
     serve.add_argument("--micro-batch", type=int, default=None,
                        dest="micro_batch",
@@ -387,11 +392,12 @@ def _run_serve(args) -> int:
             args.micro_batch if args.micro_batch is not None
             else DEFAULT_MICRO_BATCH
         ),
+        backend=args.backend,
         slo_samples=args.slo_samples,
         metrics=metrics,
     )
     print(f"scheme={report.scheme} bins={report.n_bins} d={report.d} "
-          f"shards={report.n_shards}")
+          f"shards={report.n_shards} backend={report.backend}")
     print(f"ops={report.ops} (inserts={report.inserts} "
           f"deletes={report.deletes} lookups={report.lookups}) "
           f"live={report.size}")

@@ -25,7 +25,10 @@ This package isolates the paper's central variable.  Every scheme implements
   engine and kernel consume them;
 - :mod:`~repro.hashing.registry` — the unified string-keyed scheme
   registry behind :func:`make_scheme` / :func:`make_keyed_scheme`, with
-  explicit > ``REPRO_SCHEME`` env > default name resolution.
+  explicit > ``REPRO_SCHEME`` env > default name resolution;
+- :mod:`~repro.hashing.probe` — splitmix64-based start/stride probe
+  hashes for the open-addressed assignment-map kernel
+  (:mod:`repro.kernels.keymap`), scalar oracles included.
 """
 
 from repro.hashing.base import ChoiceScheme
@@ -47,6 +50,13 @@ from repro.hashing.keyed import (
     make_hash_family,
 )
 from repro.hashing.pairwise import empirical_pairwise_stats, is_pairwise_uniform
+from repro.hashing.probe import (
+    DEFAULT_PROBE_SEED,
+    probe_start_stride,
+    probe_start_stride_scalar,
+    splitmix64,
+    splitmix64_scalar,
+)
 from repro.hashing.partitioned import (
     PartitionedDoubleHashing,
     PartitionedFullyRandom,
@@ -63,6 +73,7 @@ from repro.hashing.registry import (
 )
 
 __all__ = [
+    "DEFAULT_PROBE_SEED",
     "HASH_FAMILIES",
     "SCHEME_INFO",
     "BlockChoices",
@@ -86,7 +97,11 @@ __all__ = [
     "make_hash_family",
     "make_keyed_scheme",
     "make_scheme",
+    "probe_start_stride",
+    "probe_start_stride_scalar",
     "resolve_scheme_name",
     "scheme_info",
     "scheme_names",
+    "splitmix64",
+    "splitmix64_scalar",
 ]

@@ -221,10 +221,17 @@ class MultiplyShiftHash:
             return 0 if np.isscalar(keys) else np.zeros(len(keys), np.int64)
         if np.isscalar(keys):
             return ((self.a * int(keys)) & ((1 << 64) - 1)) >> self.shift
-        keys = np.asarray(keys).astype(_U64)
+        keys = np.asarray(keys)
+        if keys.dtype == np.int64 or keys.dtype == _U64:
+            # Two's-complement bits are what get multiplied mod 2^64, so
+            # a reinterpreting view is value-identical to the astype copy.
+            keys = keys.view(_U64)
+        else:
+            keys = keys.astype(_U64)
         with np.errstate(over="ignore"):
             prod = keys * _U64(self.a & ((1 << 64) - 1))
-        return (prod >> _U64(self.shift)).astype(np.int64)
+        prod >>= _U64(self.shift)
+        return prod.view(np.int64)
 
 
 class TabulationHash:

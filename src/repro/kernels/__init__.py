@@ -40,6 +40,14 @@ are exactly equivalent — success flag, peel order, core-edge set, and
 round count — to the oracle :func:`repro.peeling.decoder.peel_reference`
 under the synchronous-round contract documented in
 :mod:`repro.kernels.peeling`.
+
+And the service path: the keyed store's assignment map (key → bin) runs
+on the vectorized open-addressed :class:`repro.kernels.keymap.KeyMap`
+kernel — itself a double-hashed table, see :mod:`repro.hashing.probe` —
+behind :func:`make_keymap` with its own four-tier backend registry
+(``reference`` / ``numpy`` / ``numba`` / ``numba-parallel``); every tier
+is exactly equal, batch by batch, to the dict oracle
+:class:`repro.kernels.keymap.ReferenceKeyMap`.
 """
 
 from __future__ import annotations
@@ -65,6 +73,15 @@ from repro.kernels.hash_schemes import (
     pairwise_affine_u64,
     tabulation_hash_scalar,
     tabulation_hash_u64,
+)
+from repro.kernels.keymap import (
+    KNOWN_KEYMAP_BACKENDS,
+    NOT_FOUND,
+    KeyMap,
+    ReferenceKeyMap,
+    available_keymap_backends,
+    make_keymap,
+    resolve_keymap_backend,
 )
 from repro.kernels.numpy_backend import NumpyBackend, choose_window
 from repro.kernels.peeling import (
@@ -97,9 +114,14 @@ from repro.types import QueueingResult
 __all__ = [
     "DEFAULT_BLOCK",
     "KEY_SHIFT",
+    "KNOWN_KEYMAP_BACKENDS",
     "KernelLayout",
+    "KeyMap",
+    "NOT_FOUND",
     "PeelOutcome",
+    "ReferenceKeyMap",
     "available_backends",
+    "available_keymap_backends",
     "check_queue_packing",
     "choose_window",
     "default_shards",
@@ -107,11 +129,13 @@ __all__ = [
     "fused_parallel_supported",
     "generate_packed",
     "kernel_metrics",
+    "make_keymap",
     "pairwise_affine_scalar",
     "pairwise_affine_u64",
     "place_ball",
     "plan_layout",
     "resolve_backend",
+    "resolve_keymap_backend",
     "run_parallel_trials",
     "run_peeling_kernel",
     "run_placement_kernel",

@@ -32,6 +32,7 @@ class ServiceReport:
     n_bins: int
     d: int
     n_shards: int
+    backend: str
     ops: int
     inserts: int
     deletes: int
@@ -54,6 +55,7 @@ class ServiceReport:
             "n_bins": self.n_bins,
             "d": self.d,
             "n_shards": self.n_shards,
+            "backend": self.backend,
             "ops": self.ops,
             "inserts": self.inserts,
             "deletes": self.deletes,
@@ -80,6 +82,7 @@ def run_service_workload(
     n_shards: int = 1,
     seed: int | None = None,
     micro_batch: int = DEFAULT_MICRO_BATCH,
+    backend: str | None = None,
     slo_samples: int = 32,
     metrics: MetricsRegistry | None = None,
     series: str = "service.slo",
@@ -102,6 +105,10 @@ def run_service_workload(
         Drives both the hash-family draws and the workload stream.
     micro_batch:
         Placement micro-batch size (see the store docs).
+    backend:
+        Assignment-map kernel tier for every store/shard (explicit >
+        ``REPRO_BACKEND`` env > auto; see
+        :func:`repro.kernels.keymap.resolve_keymap_backend`).
     slo_samples:
         Target number of tail-SLO samples over the run (0 disables
         periodic sampling; a final sample is always recorded).
@@ -117,6 +124,8 @@ def run_service_workload(
             scheme=scheme,
             seed=seed,
             micro_batch=micro_batch,
+            backend=backend,
+            expected_keys=spec.n_keys,
             metrics=registry,
             series=series,
         )
@@ -128,6 +137,8 @@ def run_service_workload(
             scheme=scheme,
             seed=seed,
             micro_batch=micro_batch,
+            backend=backend,
+            expected_keys=spec.n_keys,
             metrics=registry,
             series=series,
         )
@@ -167,6 +178,7 @@ def run_service_workload(
         n_bins=n_bins,
         d=d,
         n_shards=n_shards,
+        backend=store.backend,
         ops=store.ops,
         inserts=counters["inserts"],
         deletes=counters["deletes"],

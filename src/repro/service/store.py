@@ -23,11 +23,19 @@ anywhere on this path.
 State
 -----
 Per-bin loads are a flat int64 vector; the key→bin assignment lives in a
-dict updated in bulk per batch.  Re-inserting a live key is idempotent
-(the existing placement wins; the speculative increment is rolled back and
-counted under ``reinserts``).  Deleting an absent key is counted under
-``delete_misses`` and reported as bin ``-1`` (or raises, with the store
-untouched, under ``missing="error"``).
+flat open-addressed kernel map (:mod:`repro.kernels.keymap` — the service
+layer eating the paper's own double-hashing medicine), selected through
+the usual explicit > ``REPRO_BACKEND`` > auto registry via ``backend``
+(``"reference"`` recovers the demoted per-key dict path, the oracle the
+kernels are tested exactly equal to).  Because speculative load
+increments happen for *every* key of a batch — reinserts included — and
+are only rolled back afterwards, the placement loop is independent of
+reinsert status, and the whole batch resolves through **one**
+``insert_many`` kernel call.  Re-inserting a live key is idempotent
+(the existing placement wins; the speculative increment is rolled back
+and counted under ``reinserts``).  Deleting an absent key is counted
+under ``delete_misses`` and reported as bin ``-1`` (or raises, with the
+store untouched, under ``missing="error"``).
 
 Tail-SLO observability
 ----------------------
@@ -52,6 +60,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.hashing.keyed import KeyedChoices, _as_key_array
 from repro.hashing.registry import make_keyed_scheme
+from repro.kernels.keymap import NOT_FOUND, make_keymap
 from repro.metrics import MetricsRegistry, global_registry
 
 __all__ = ["KeyedStore", "DEFAULT_MICRO_BATCH"]
@@ -93,6 +102,15 @@ class KeyedStore:
         an instance.
     micro_batch:
         Keys per load-snapshot micro-batch (see module docstring).
+    backend:
+        Assignment-map kernel tier (``"reference"``, ``"numpy"``,
+        ``"numba"``, ``"numba-parallel"``) resolved through
+        :func:`repro.kernels.keymap.resolve_keymap_backend`; ``None``
+        follows ``REPRO_BACKEND`` then auto-detection.
+    expected_keys:
+        Presize the assignment map for this many live keys, keeping
+        amortized rehashes out of the serving path (it still grows on
+        demand).
     slo_interval:
         Record an SLO sample automatically every this many operations
         (``None`` — the default — samples only on explicit
@@ -112,6 +130,8 @@ class KeyedStore:
         seed: int | None = None,
         rng: np.random.Generator | None = None,
         micro_batch: int = DEFAULT_MICRO_BATCH,
+        backend: str | None = None,
+        expected_keys: int = 0,
         slo_interval: int | None = None,
         metrics: MetricsRegistry | None = None,
         series: str = "service.slo",
@@ -139,8 +159,11 @@ class KeyedStore:
         self.slo_interval = slo_interval
         self.series = series
         self.loads = np.zeros(self.n_bins, dtype=np.int64)
-        self._assign: dict[int, int] = {}
         self._metrics = metrics if metrics is not None else global_registry()
+        self._map = make_keymap(
+            expected=expected_keys, backend=backend, metrics=self._metrics
+        )
+        self.backend = self._map.backend
         self.counters: dict[str, int] = dict.fromkeys(_COUNTERS, 0)
         self._ops = 0
         self._ops_at_last_sample = 0
@@ -150,12 +173,24 @@ class KeyedStore:
     @property
     def size(self) -> int:
         """Number of live keys."""
-        return len(self._assign)
+        return self._map.size
 
     @property
     def ops(self) -> int:
         """Total operations processed (inserts + deletes + lookups)."""
         return self._ops
+
+    @property
+    def assignments(self) -> tuple[np.ndarray, np.ndarray]:
+        """Live ``(keys, bins)`` int64 arrays, sorted by key.
+
+        Built directly from the kernel map's flat storage (no Python
+        lists); the key sort makes the order deterministic across
+        backends, whose physical slot layouts differ.
+        """
+        keys, bins = self._map.items()
+        order = np.argsort(keys, kind="stable")
+        return keys[order], bins[order]
 
     def load_quantiles(self, qs=(0.5, 0.99, 0.999)) -> tuple[float, ...]:
         """Quantiles of the per-bin load vector (the SLO tail view)."""
@@ -165,13 +200,47 @@ class KeyedStore:
         """One-line description used in reports."""
         return (
             f"KeyedStore({self.keyed.describe()}, size={self.size}, "
-            f"micro_batch={self.micro_batch})"
+            f"micro_batch={self.micro_batch}, backend={self.backend})"
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return self.describe()
 
     # -- operations -------------------------------------------------------
+
+    def _place(self, keys: np.ndarray) -> np.ndarray:
+        """Least-loaded placement with speculative increments for all keys.
+
+        Returns the chosen bin per key under micro-batch snapshot
+        semantics.  ``d == 2`` runs on contiguous planar choice rows with
+        a branch-free pick (ties to the first choice — exactly what
+        ``argmin`` does); other ``d`` take the generic argmin path.  Both
+        are bit-identical to the historical per-batch loop.
+        """
+        n_keys = keys.size
+        bins = np.empty(n_keys, dtype=np.int64)
+        loads = self.loads
+        mb = self.micro_batch
+        if self.d == 2:
+            planes = self.keyed.choices_planar(keys)
+            c0, c1 = planes[0], planes[1]
+            for lo in range(0, n_keys, mb):
+                b0 = c0[lo : lo + mb]
+                b1 = c1[lo : lo + mb]
+                picks = loads[b1] < loads[b0]
+                chosen = np.where(picks, b1, b0)
+                np.add.at(loads, chosen, 1)
+                bins[lo : lo + mb] = chosen
+        else:
+            choices = self.keyed.choices(keys)
+            for lo in range(0, n_keys, mb):
+                block = choices[lo : lo + mb]
+                rows = np.arange(block.shape[0])
+                picks = np.argmin(loads[block], axis=1)
+                chosen = block[rows, picks]
+                np.add.at(loads, chosen, 1)
+                bins[lo : lo + mb] = chosen
+        return bins
 
     def insert_many(self, keys) -> np.ndarray:
         """Place a batch of keys; returns the assigned bin per key.
@@ -185,38 +254,21 @@ class KeyedStore:
         if n_keys == 0:
             return np.empty(0, dtype=np.int64)
         with self._metrics.timer("service.insert_seconds"):
-            choices = self.keyed.choices(keys)
-            bins = np.empty(n_keys, dtype=np.int64)
-            loads = self.loads
-            mb = self.micro_batch
-            for lo in range(0, n_keys, mb):
-                block = choices[lo : lo + mb]
-                rows = np.arange(block.shape[0])
-                picks = np.argmin(loads[block], axis=1)
-                chosen = block[rows, picks]
-                np.add.at(loads, chosen, 1)
-                bins[lo : lo + mb] = chosen
-            # Bulk dict update; live keys keep their old bin and the
-            # speculative increment above is rolled back.
-            assign = self._assign
-            get = assign.get
-            out = bins.tolist()
-            undo: list[int] = []
-            for i, (k, b) in enumerate(zip(keys.tolist(), out)):
-                prev = get(k)
-                if prev is None:
-                    assign[k] = b
-                else:
-                    undo.append(b)
-                    out[i] = prev
-            if undo:
-                np.subtract.at(loads, undo, 1)
-                self.counters["reinserts"] += len(undo)
+            bins = self._place(keys)
+            # One kernel call for the whole batch: set-default resolves
+            # reinserts (and intra-batch duplicates) to the stored bin,
+            # whose speculative increment is then rolled back.
+            prev = self._map.insert_many(keys, bins)
+            reins = prev != NOT_FOUND
+            if reins.any():
+                np.subtract.at(self.loads, bins[reins], 1)
+                self.counters["reinserts"] += int(np.count_nonzero(reins))
+                bins = np.where(reins, prev, bins)
         self.counters["inserts"] += n_keys
         self._ops += n_keys
         self._metrics.increment("service.inserts", n_keys)
         self._maybe_sample()
-        return np.asarray(out, dtype=np.int64)
+        return bins
 
     def delete_many(self, keys, *, missing: str = "ignore") -> np.ndarray:
         """Remove a batch of keys; returns the freed bin per key.
@@ -233,26 +285,25 @@ class KeyedStore:
         if keys.size == 0:
             return np.empty(0, dtype=np.int64)
         with self._metrics.timer("service.delete_seconds"):
-            assign = self._assign
-            key_list = keys.tolist()
             if missing == "error":
-                for k in key_list:
-                    if k not in assign:
-                        raise KeyError(k)
-            pop = assign.pop
-            out = [pop(k, -1) for k in key_list]
-            freed = [b for b in out if b >= 0]
-            if freed:
-                np.subtract.at(self.loads, freed, 1)
-            misses = len(out) - len(freed)
-        self.counters["deletes"] += len(freed)
+                found = self._map.lookup_many(keys)
+                absent = np.flatnonzero(found == NOT_FOUND)
+                if absent.size:
+                    raise KeyError(int(keys[absent[0]]))
+            out = self._map.delete_many(keys)
+            freed = out != NOT_FOUND
+            n_freed = int(np.count_nonzero(freed))
+            if n_freed:
+                np.subtract.at(self.loads, out[freed], 1)
+            misses = keys.size - n_freed
+        self.counters["deletes"] += n_freed
         self.counters["delete_misses"] += misses
         self._ops += keys.size
-        self._metrics.increment("service.deletes", len(freed))
+        self._metrics.increment("service.deletes", n_freed)
         if misses:
             self._metrics.increment("service.delete_misses", misses)
         self._maybe_sample()
-        return np.asarray(out, dtype=np.int64)
+        return out
 
     def lookup_many(self, keys) -> np.ndarray:
         """Current bin per key (``-1`` for keys not in the store)."""
@@ -260,15 +311,14 @@ class KeyedStore:
         if keys.size == 0:
             return np.empty(0, dtype=np.int64)
         with self._metrics.timer("service.lookup_seconds"):
-            get = self._assign.get
-            out = [get(k, -1) for k in keys.tolist()]
-            misses = out.count(-1)
+            out = self._map.lookup_many(keys)
+            misses = int(np.count_nonzero(out == NOT_FOUND))
         self.counters["lookups"] += keys.size
         self.counters["lookup_misses"] += misses
         self._ops += keys.size
         self._metrics.increment("service.lookups", keys.size)
         self._maybe_sample()
-        return np.asarray(out, dtype=np.int64)
+        return out
 
     # -- SLO sampling -----------------------------------------------------
 
@@ -328,15 +378,20 @@ class KeyedStore:
             self.d,
             scheme=self.keyed,
             micro_batch=self.micro_batch,
+            backend=self.backend,
+            expected_keys=self.size + other.size,
             slo_interval=self.slo_interval,
             metrics=self._metrics,
             series=self.series,
         )
-        merged._assign = {**self._assign, **other._assign}
-        if len(merged._assign) != self.size + other.size:
-            raise ConfigurationError(
-                "cannot merge shards with overlapping keys"
-            )
+        for shard in (self, other):
+            keys, bins = shard._map.items()
+            if keys.size:
+                prior = merged._map.insert_many(keys, bins)
+                if (prior != NOT_FOUND).any():
+                    raise ConfigurationError(
+                        "cannot merge shards with overlapping keys"
+                    )
         np.add(self.loads, other.loads, out=merged.loads)
         for name in _COUNTERS:
             merged.counters[name] = self.counters[name] + other.counters[name]

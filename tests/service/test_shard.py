@@ -104,3 +104,87 @@ class TestSLO:
         snap = reg.snapshot()
         shard_series = [k for k in snap["series"] if ".shard" in k]
         assert shard_series  # per-shard auto-samples landed
+
+
+class TestRoutePlan:
+    def test_plan_reuse_matches_direct_dispatch(self):
+        router = fresh_router()
+        keys = np.arange(1, 3001, dtype=np.int64)
+        plan = router.route(keys)
+        bins = router.insert_many(plan=plan)
+        assert (router.lookup_many(plan=plan) == bins).all()
+        # An independent router fed the same keys without a plan agrees.
+        other = fresh_router()
+        assert (other.insert_many(keys) == bins).all()
+        freed = router.delete_many(plan=plan)
+        assert (freed == bins).all()
+        assert router.size == 0
+
+    def test_plan_with_matching_keys_is_accepted(self):
+        router = fresh_router()
+        keys = np.arange(1, 101, dtype=np.int64)
+        plan = router.route(keys)
+        bins = router.insert_many(keys.copy(), plan=plan)
+        assert (router.lookup_many(keys, plan=plan) == bins).all()
+
+    def test_plan_for_different_batch_is_rejected(self):
+        router = fresh_router()
+        plan = router.route(np.arange(1, 101, dtype=np.int64))
+        with pytest.raises(ConfigurationError):
+            router.insert_many(np.arange(2, 102, dtype=np.int64), plan=plan)
+        with pytest.raises(ConfigurationError):
+            router.lookup_many(np.arange(1, 51, dtype=np.int64), plan=plan)
+
+    def test_plan_bounds_cover_all_shards(self):
+        router = fresh_router()
+        keys = np.arange(1, 2001, dtype=np.int64)
+        plan = router.route(keys)
+        assert plan.bounds.size == router.n_shards + 1
+        assert plan.bounds[0] == 0 and plan.bounds[-1] == keys.size
+        sid = router.shard_of(keys)
+        for s in range(router.n_shards):
+            lo, hi = int(plan.bounds[s]), int(plan.bounds[s + 1])
+            assert (sid[plan.order[lo:hi]] == s).all()
+
+
+class TestMergeUnderChurn:
+    def test_merged_after_mixed_reinsert_and_delete_miss_churn(self):
+        router = fresh_router()
+        rng = np.random.default_rng(31)
+        live_bins = {}
+        for _ in range(5):
+            ins = rng.integers(0, 3000, size=600)
+            bins = router.insert_many(ins)
+            for k, b in zip(ins.tolist(), bins.tolist()):
+                live_bins.setdefault(k, b)  # reinserts keep the old bin
+            dels = rng.integers(0, 4000, size=250)  # some misses
+            router.delete_many(dels)
+            for k in dels.tolist():
+                live_bins.pop(k, None)
+        merged = router.merged()
+        assert merged.size == router.size == len(live_bins)
+        assert (merged.loads == router.loads).all()
+        probe = np.fromiter(live_bins.keys(), dtype=np.int64)
+        want = np.fromiter(live_bins.values(), dtype=np.int64)
+        assert (merged.lookup_many(probe) == want).all()
+        assert (router.lookup_many(probe) == want).all()
+        assert router.counters["reinserts"] > 0
+        assert router.counters["delete_misses"] > 0
+
+    def test_merge_rejects_fingerprint_mismatch_after_churn(self):
+        a = fresh_router(seed=1, n_shards=1).shards[0]
+        b = fresh_router(seed=2, n_shards=1).shards[0]
+        a.insert_many(np.arange(1, 101, dtype=np.int64))
+        b.insert_many(np.arange(200, 301, dtype=np.int64))
+        a.delete_many([1000])  # delete-miss churn on both sides
+        b.delete_many(np.arange(200, 210, dtype=np.int64))
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_backend_threads_through_router(self):
+        router = fresh_router(backend="numpy", expected_keys=4000)
+        assert router.backend == "numpy"
+        assert all(s.backend == "numpy" for s in router.shards)
+        ref = fresh_router(backend="reference")
+        keys = np.arange(1, 2001, dtype=np.int64)
+        assert (router.insert_many(keys) == ref.insert_many(keys)).all()

@@ -152,3 +152,78 @@ class TestMerge:
         b.insert_many([3, 4])
         with pytest.raises(ConfigurationError):
             a.merge(b)
+
+
+class TestKernelBacking:
+    """The store's bookkeeping runs on the keymap kernel."""
+
+    def test_backend_is_exposed_and_selectable(self):
+        st = fresh_store(backend="numpy")
+        assert st.backend == "numpy"
+        assert "backend=numpy" in st.describe()
+        ref = fresh_store(backend="reference")
+        assert ref.backend == "reference"
+
+    def test_reference_and_numpy_stores_agree_exactly(self):
+        rng = np.random.default_rng(23)
+        ops = []
+        for _ in range(6):
+            ops.append(("insert", rng.integers(0, 4000, size=800)))
+            ops.append(("delete", rng.integers(0, 4000, size=300)))
+            ops.append(("lookup", rng.integers(0, 5000, size=500)))
+        results = {}
+        for backend in ("reference", "numpy"):
+            st = fresh_store(seed=4, backend=backend)
+            outs = []
+            for op, keys in ops:
+                if op == "insert":
+                    outs.append(st.insert_many(keys))
+                elif op == "delete":
+                    outs.append(st.delete_many(keys))
+                else:
+                    outs.append(st.lookup_many(keys))
+            results[backend] = (outs, st.loads.copy(), st.counters, st.size)
+        ref_outs, ref_loads, ref_counters, ref_size = results["reference"]
+        np_outs, np_loads, np_counters, np_size = results["numpy"]
+        for got, want in zip(np_outs, ref_outs):
+            assert np.array_equal(got, want)
+        assert np.array_equal(np_loads, ref_loads)
+        assert np_counters == ref_counters
+        assert np_size == ref_size
+
+    def test_returns_are_int64_ndarrays(self):
+        st = fresh_store()
+        keys = np.arange(1, 301, dtype=np.int64)
+        bins = st.insert_many(keys)
+        for out in (
+            bins,
+            st.lookup_many(keys),
+            st.lookup_many([10**15]),
+            st.delete_many(keys[:50]),
+            st.delete_many([10**15]),
+            st.insert_many(keys[50:60]),  # reinsert path
+        ):
+            assert isinstance(out, np.ndarray)
+            assert out.dtype == np.int64
+            assert out.ndim == 1
+        assert st.insert_many([]).dtype == np.int64
+
+    def test_assignments_property(self):
+        st = fresh_store()
+        keys = np.array([900, 5, 17, 4], dtype=np.int64)
+        bins = st.insert_many(keys)
+        got_keys, got_bins = st.assignments
+        assert got_keys.dtype == np.int64 and got_bins.dtype == np.int64
+        assert np.array_equal(got_keys, np.sort(keys))
+        order = np.argsort(keys, kind="stable")
+        assert np.array_equal(got_bins, bins[order])
+        st.delete_many([17])
+        got_keys, _ = st.assignments
+        assert 17 not in got_keys.tolist()
+
+    def test_expected_keys_presizes_map(self):
+        reg = MetricsRegistry()
+        st = fresh_store(metrics=reg, expected_keys=20_000)
+        st.insert_many(np.arange(1, 20_001, dtype=np.int64))
+        assert reg.get_counter("keymap.rehashes") == 0
+        assert st.size == 20_000
